@@ -1,0 +1,1 @@
+//! Benchmark crate; all Criterion benches live in benches/.

@@ -1,0 +1,179 @@
+//! A location-sorted request queue with C-SCAN ("one-way elevator")
+//! selection — the building block of CFQ's per-queue ordering and
+//! Block-Deadline's sorted lists.
+
+use std::collections::BTreeMap;
+
+use sim_core::{BlockNo, RequestId};
+
+use crate::Request;
+
+/// Requests ordered by starting block; pops the next request at or after a
+/// sweep position, wrapping to the lowest block when the sweep passes the
+/// end (C-SCAN).
+#[derive(Debug, Default)]
+pub struct SortedQueue {
+    by_block: BTreeMap<(BlockNo, RequestId), Request>,
+}
+
+impl SortedQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a request.
+    pub fn insert(&mut self, req: Request) {
+        self.by_block.insert((req.start, req.id), req);
+    }
+
+    /// Number of queued requests.
+    pub fn len(&self) -> usize {
+        self.by_block.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_block.is_empty()
+    }
+
+    /// Peek the next request at or after `pos`, wrapping around.
+    pub fn peek_cscan(&self, pos: BlockNo) -> Option<&Request> {
+        self.by_block
+            .range((pos, RequestId(0))..)
+            .next()
+            .or_else(|| self.by_block.iter().next())
+            .map(|(_, r)| r)
+    }
+
+    /// Pop the next request at or after `pos`, wrapping around.
+    pub fn pop_cscan(&mut self, pos: BlockNo) -> Option<Request> {
+        let key = *self
+            .by_block
+            .range((pos, RequestId(0))..)
+            .next()
+            .or_else(|| self.by_block.iter().next())?
+            .0;
+        self.by_block.remove(&key)
+    }
+
+    /// Pop the lowest-addressed request.
+    pub fn pop_first(&mut self) -> Option<Request> {
+        let key = *self.by_block.keys().next()?;
+        self.by_block.remove(&key)
+    }
+
+    /// Remove a specific request by id and start block.
+    pub fn remove(&mut self, start: BlockNo, id: RequestId) -> Option<Request> {
+        self.by_block.remove(&(start, id))
+    }
+
+    /// Iterate in block order.
+    pub fn iter(&self) -> impl Iterator<Item = &Request> {
+        self.by_block.values()
+    }
+}
+
+/// A FIFO of request ids with their queue-entry deadline, used for the
+/// expiry lists in Block-Deadline.
+#[derive(Debug, Default)]
+pub struct FifoQueue {
+    entries: std::collections::VecDeque<(sim_core::SimTime, BlockNo, RequestId)>,
+}
+
+impl FifoQueue {
+    /// Empty FIFO.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an entry expiring at `deadline`.
+    pub fn push(&mut self, deadline: sim_core::SimTime, start: BlockNo, id: RequestId) {
+        self.entries.push_back((deadline, start, id));
+    }
+
+    /// The earliest deadline in the FIFO, if any.
+    pub fn front_deadline(&self) -> Option<sim_core::SimTime> {
+        self.entries.front().map(|e| e.0)
+    }
+
+    /// Pop the front entry.
+    pub fn pop(&mut self) -> Option<(sim_core::SimTime, BlockNo, RequestId)> {
+        self.entries.pop_front()
+    }
+
+    /// Drop a specific id (after it was dispatched from the sorted queue).
+    pub fn remove_id(&mut self, id: RequestId) {
+        self.entries.retain(|e| e.2 != id);
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the FIFO is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::{CauseSet, Pid, SimTime};
+    use sim_device::IoDir;
+
+    fn req(id: u64, start: u64) -> Request {
+        Request {
+            id: RequestId(id),
+            dir: IoDir::Read,
+            start: BlockNo(start),
+            nblocks: 1,
+            submitter: Pid(1),
+            causes: CauseSet::empty(),
+            sync: true,
+            ioprio: Default::default(),
+            deadline: None,
+            submitted_at: SimTime::ZERO,
+            file: None,
+            kind: Default::default(),
+        }
+    }
+
+    #[test]
+    fn cscan_sweeps_forward_then_wraps() {
+        let mut q = SortedQueue::new();
+        for (id, b) in [(1, 100), (2, 50), (3, 200)] {
+            q.insert(req(id, b));
+        }
+        assert_eq!(q.pop_cscan(BlockNo(60)).unwrap().start, BlockNo(100));
+        assert_eq!(q.pop_cscan(BlockNo(101)).unwrap().start, BlockNo(200));
+        // Past the end: wraps to the lowest.
+        assert_eq!(q.pop_cscan(BlockNo(201)).unwrap().start, BlockNo(50));
+        assert!(q.pop_cscan(BlockNo(0)).is_none());
+    }
+
+    #[test]
+    fn duplicate_start_blocks_coexist() {
+        let mut q = SortedQueue::new();
+        q.insert(req(1, 100));
+        q.insert(req(2, 100));
+        assert_eq!(q.len(), 2);
+        assert!(q.pop_cscan(BlockNo(0)).is_some());
+        assert!(q.pop_cscan(BlockNo(0)).is_some());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fifo_preserves_order_and_removal() {
+        let mut f = FifoQueue::new();
+        f.push(SimTime::from_nanos(10), BlockNo(5), RequestId(1));
+        f.push(SimTime::from_nanos(20), BlockNo(6), RequestId(2));
+        assert_eq!(f.front_deadline(), Some(SimTime::from_nanos(10)));
+        f.remove_id(RequestId(1));
+        assert_eq!(f.front_deadline(), Some(SimTime::from_nanos(20)));
+        assert_eq!(f.pop().unwrap().2, RequestId(2));
+        assert!(f.is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests: no elevator ever loses or duplicates a request.
+
+use proptest::prelude::*;
+use sim_block::{BlockDeadline, Cfq, Dispatch, Elevator, IoPrio, Noop, Request};
+use sim_core::{BlockNo, CauseSet, Pid, RequestId, SimDuration, SimTime};
+use sim_device::{HddModel, IoDir};
+
+#[derive(Debug, Clone)]
+struct ReqSpec {
+    start: u64,
+    read: bool,
+    pid: u32,
+    prio: u8,
+}
+
+fn req_specs() -> impl Strategy<Value = Vec<ReqSpec>> {
+    proptest::collection::vec(
+        (0u64..100_000, any::<bool>(), 1u32..6, 0u8..8).prop_map(|(start, read, pid, prio)| {
+            ReqSpec {
+                start,
+                read,
+                pid,
+                prio,
+            }
+        }),
+        1..60,
+    )
+}
+
+fn build(spec: &ReqSpec, id: u64) -> Request {
+    Request {
+        id: RequestId(id),
+        dir: if spec.read { IoDir::Read } else { IoDir::Write },
+        start: BlockNo(spec.start),
+        nblocks: 1,
+        submitter: Pid(spec.pid),
+        causes: CauseSet::of(Pid(spec.pid)),
+        sync: spec.read,
+        ioprio: IoPrio::best_effort(spec.prio),
+        deadline: None,
+        submitted_at: SimTime::ZERO,
+        file: None,
+        kind: Default::default(),
+    }
+}
+
+/// Drive an elevator until it yields nothing more, advancing time past
+/// any anticipation waits and acknowledging completions.
+fn drain(elev: &mut dyn Elevator, n: usize) -> Vec<u64> {
+    let dev = HddModel::new();
+    let mut now = SimTime::ZERO;
+    let mut out = Vec::new();
+    let mut stall = 0;
+    while out.len() < n && stall < 10_000 {
+        match elev.dispatch(now, &dev) {
+            Dispatch::Issue(r) => {
+                now = now + SimDuration::from_micros(100);
+                elev.completed(&r, now);
+                out.push(r.id.raw());
+                stall = 0;
+            }
+            Dispatch::WaitUntil(t) => {
+                now = t.max(now + SimDuration::from_nanos(1));
+                stall += 1;
+            }
+            Dispatch::Idle => {
+                now = now + SimDuration::from_millis(10);
+                stall += 1;
+            }
+        }
+    }
+    out
+}
+
+fn check_conservation(mut elev: Box<dyn Elevator>, specs: &[ReqSpec]) -> Result<(), TestCaseError> {
+    for (i, s) in specs.iter().enumerate() {
+        elev.add(build(s, i as u64), SimTime::ZERO);
+    }
+    prop_assert_eq!(elev.queued(), specs.len());
+    let mut got = drain(elev.as_mut(), specs.len());
+    got.sort_unstable();
+    prop_assert_eq!(
+        got,
+        (0..specs.len() as u64).collect::<Vec<_>>(),
+        "every request must be dispatched exactly once"
+    );
+    prop_assert_eq!(elev.queued(), 0);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn noop_conserves_requests(specs in req_specs()) {
+        check_conservation(Box::new(Noop::new()), &specs)?;
+    }
+
+    #[test]
+    fn cfq_conserves_requests(specs in req_specs()) {
+        check_conservation(Box::new(Cfq::new()), &specs)?;
+    }
+
+    #[test]
+    fn block_deadline_conserves_requests(specs in req_specs()) {
+        check_conservation(Box::new(BlockDeadline::new()), &specs)?;
+    }
+
+    /// Noop preserves exact FIFO order.
+    #[test]
+    fn noop_is_fifo(specs in req_specs()) {
+        let mut e = Noop::new();
+        for (i, s) in specs.iter().enumerate() {
+            e.add(build(s, i as u64), SimTime::ZERO);
+        }
+        let got = drain(&mut e, specs.len());
+        prop_assert_eq!(got, (0..specs.len() as u64).collect::<Vec<_>>());
+    }
+}

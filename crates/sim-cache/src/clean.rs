@@ -1,0 +1,144 @@
+//! Clean-page residency with LRU eviction.
+//!
+//! Tracked at page granularity with an intrusive LRU list implemented over
+//! a `HashMap` + monotonic sequence numbers (a "clock" approximation that
+//! is exact enough for the experiments: small files stay resident, streams
+//! larger than memory do not).
+
+use std::collections::{BTreeMap, HashMap};
+
+use sim_core::FileId;
+
+/// LRU-managed set of resident clean pages.
+#[derive(Debug)]
+pub struct CleanCache {
+    capacity_pages: u64,
+    /// (file, page) -> lru stamp
+    pages: HashMap<(FileId, u64), u64>,
+    /// lru stamp -> (file, page); BTreeMap gives cheap oldest-first.
+    order: BTreeMap<u64, (FileId, u64)>,
+    stamp: u64,
+}
+
+impl CleanCache {
+    /// Cache holding at most `capacity_pages` pages.
+    pub fn new(capacity_pages: u64) -> Self {
+        CleanCache {
+            capacity_pages: capacity_pages.max(1),
+            pages: HashMap::new(),
+            order: BTreeMap::new(),
+            stamp: 0,
+        }
+    }
+
+    /// Resident page count.
+    pub fn len(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    /// Whether nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Insert (or refresh) a page, evicting the least-recently-used pages
+    /// if over capacity.
+    pub fn insert(&mut self, file: FileId, page: u64) {
+        self.touch_or_insert(file, page, true);
+        while self.pages.len() as u64 > self.capacity_pages {
+            let Some((&oldest, &key)) = self.order.iter().next() else {
+                break;
+            };
+            self.order.remove(&oldest);
+            self.pages.remove(&key);
+        }
+    }
+
+    /// If resident, refresh recency and return true.
+    pub fn touch(&mut self, file: FileId, page: u64) -> bool {
+        self.touch_or_insert(file, page, false)
+    }
+
+    fn touch_or_insert(&mut self, file: FileId, page: u64, insert: bool) -> bool {
+        let key = (file, page);
+        match self.pages.get_mut(&key) {
+            Some(old_stamp) => {
+                self.order.remove(old_stamp);
+                self.stamp += 1;
+                *old_stamp = self.stamp;
+                self.order.insert(self.stamp, key);
+                true
+            }
+            None if insert => {
+                self.stamp += 1;
+                self.pages.insert(key, self.stamp);
+                self.order.insert(self.stamp, key);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drop all pages of `file`.
+    pub fn remove_file(&mut self, file: FileId) {
+        let stamps: Vec<u64> = self
+            .pages
+            .iter()
+            .filter(|((f, _), _)| *f == file)
+            .map(|(_, &s)| s)
+            .collect();
+        for s in stamps {
+            if let Some(key) = self.order.remove(&s) {
+                self.pages.remove(&key);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_touch() {
+        let mut c = CleanCache::new(4);
+        c.insert(FileId(1), 0);
+        assert!(c.touch(FileId(1), 0));
+        assert!(!c.touch(FileId(1), 1));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = CleanCache::new(3);
+        c.insert(FileId(1), 0);
+        c.insert(FileId(1), 1);
+        c.insert(FileId(1), 2);
+        // Touch page 0 so page 1 becomes the LRU victim.
+        c.touch(FileId(1), 0);
+        c.insert(FileId(1), 3);
+        assert!(c.touch(FileId(1), 0));
+        assert!(!c.touch(FileId(1), 1), "page 1 should have been evicted");
+        assert!(c.touch(FileId(1), 2));
+        assert!(c.touch(FileId(1), 3));
+    }
+
+    #[test]
+    fn remove_file_clears_only_that_file() {
+        let mut c = CleanCache::new(10);
+        c.insert(FileId(1), 0);
+        c.insert(FileId(2), 0);
+        c.remove_file(FileId(1));
+        assert!(!c.touch(FileId(1), 0));
+        assert!(c.touch(FileId(2), 0));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_refreshes_rather_than_duplicates() {
+        let mut c = CleanCache::new(2);
+        c.insert(FileId(1), 0);
+        c.insert(FileId(1), 0);
+        c.insert(FileId(1), 1);
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,247 @@
+//! Dirty-page tracking with per-page cause tags.
+
+use std::collections::{BTreeMap, HashMap};
+
+use sim_core::{CauseSet, FileId, SimTime, PAGE_SIZE};
+
+use crate::tagmem::TagMem;
+
+/// One dirty page: who is responsible and since when.
+#[derive(Debug, Clone)]
+struct DirtyPage {
+    causes: CauseSet,
+    dirtied_at: SimTime,
+}
+
+/// Result of a `dirty_page` call, used to build the buffer-dirty hook
+/// event.
+#[derive(Debug, Clone)]
+pub struct DirtyEvent {
+    /// Previous causes if the page was already dirty (an overwrite).
+    pub prev: Option<CauseSet>,
+    /// Bytes newly dirtied (0 for an overwrite).
+    pub new_bytes: u64,
+    /// When the page first became dirty.
+    pub first_dirtied: SimTime,
+}
+
+/// A contiguous run of dirty pages handed to the flush path.
+#[derive(Debug, Clone)]
+pub struct PageRange {
+    /// First page index.
+    pub start_page: u64,
+    /// Number of pages.
+    pub len: u64,
+    /// Union of the pages' cause sets.
+    pub causes: CauseSet,
+    /// Earliest dirty time in the range.
+    pub oldest: SimTime,
+}
+
+impl PageRange {
+    /// Bytes covered.
+    pub fn bytes(&self) -> u64 {
+        self.len * PAGE_SIZE
+    }
+}
+
+/// Per-file dirty page index.
+#[derive(Debug, Default)]
+pub struct DirtyStore {
+    files: HashMap<FileId, BTreeMap<u64, DirtyPage>>,
+    /// (first-dirty time, file) for oldest-first writeback selection.
+    total: u64,
+}
+
+impl DirtyStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total dirty pages across all files.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Dirty pages of one file.
+    pub fn pages_of(&self, file: FileId) -> u64 {
+        self.files.get(&file).map(|m| m.len() as u64).unwrap_or(0)
+    }
+
+    /// Whether a specific page is dirty.
+    pub fn contains(&self, file: FileId, page: u64) -> bool {
+        self.files
+            .get(&file)
+            .is_some_and(|m| m.contains_key(&page))
+    }
+
+    /// Mark one page dirty for `causes`.
+    pub fn dirty_page(
+        &mut self,
+        file: FileId,
+        page: u64,
+        causes: &CauseSet,
+        now: SimTime,
+        tagmem: &mut TagMem,
+    ) -> DirtyEvent {
+        let file_map = self.files.entry(file).or_default();
+        match file_map.get_mut(&page) {
+            Some(dp) => {
+                let prev = dp.causes.clone();
+                tagmem.free(dp.causes.heap_bytes());
+                dp.causes.union_with(causes);
+                tagmem.alloc(dp.causes.heap_bytes());
+                DirtyEvent {
+                    prev: Some(prev),
+                    new_bytes: 0,
+                    first_dirtied: dp.dirtied_at,
+                }
+            }
+            None => {
+                tagmem.alloc(causes.heap_bytes());
+                file_map.insert(
+                    page,
+                    DirtyPage {
+                        causes: causes.clone(),
+                        dirtied_at: now,
+                    },
+                );
+                self.total += 1;
+                DirtyEvent {
+                    prev: None,
+                    new_bytes: PAGE_SIZE,
+                    first_dirtied: now,
+                }
+            }
+        }
+    }
+
+    /// Remove up to `max` pages of `file`, lowest page first, coalesced
+    /// into contiguous ranges.
+    pub fn take_ranges(&mut self, file: FileId, max: u64, tagmem: &mut TagMem) -> Vec<PageRange> {
+        let Some(file_map) = self.files.get_mut(&file) else {
+            return Vec::new();
+        };
+        let mut taken: Vec<(u64, DirtyPage)> = Vec::new();
+        while (taken.len() as u64) < max {
+            let Some((&p, _)) = file_map.iter().next() else {
+                break;
+            };
+            let dp = file_map.remove(&p).expect("just observed");
+            tagmem.free(dp.causes.heap_bytes());
+            taken.push((p, dp));
+        }
+        self.total -= taken.len() as u64;
+        if file_map.is_empty() {
+            self.files.remove(&file);
+        }
+        coalesce(taken)
+    }
+
+    /// Remove every dirty page of `file`, returning the avoided ranges.
+    pub fn free_file(&mut self, file: FileId, tagmem: &mut TagMem) -> Vec<PageRange> {
+        let Some(file_map) = self.files.remove(&file) else {
+            return Vec::new();
+        };
+        self.total -= file_map.len() as u64;
+        let taken: Vec<(u64, DirtyPage)> = file_map.into_iter().collect();
+        for (_, dp) in &taken {
+            tagmem.free(dp.causes.heap_bytes());
+        }
+        coalesce(taken)
+    }
+
+    /// Files with dirty pages, ordered by their oldest dirty page.
+    pub fn files_oldest_first(&self) -> Vec<FileId> {
+        let mut v: Vec<(SimTime, FileId)> = self
+            .files
+            .iter()
+            .map(|(f, m)| {
+                let oldest = m.values().map(|d| d.dirtied_at).min().unwrap_or(SimTime::MAX);
+                (oldest, *f)
+            })
+            .collect();
+        v.sort_unstable();
+        v.into_iter().map(|(_, f)| f).collect()
+    }
+}
+
+fn coalesce(taken: Vec<(u64, DirtyPage)>) -> Vec<PageRange> {
+    let mut out: Vec<PageRange> = Vec::new();
+    for (p, dp) in taken {
+        match out.last_mut() {
+            Some(r) if r.start_page + r.len == p => {
+                r.len += 1;
+                r.causes.union_with(&dp.causes);
+                r.oldest = r.oldest.min(dp.dirtied_at);
+            }
+            _ => out.push(PageRange {
+                start_page: p,
+                len: 1,
+                causes: dp.causes,
+                oldest: dp.dirtied_at,
+            }),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::Pid;
+
+    #[test]
+    fn take_ranges_coalesces_contiguous_pages() {
+        let mut s = DirtyStore::new();
+        let mut tm = TagMem::new();
+        let f = FileId(1);
+        for p in [0u64, 1, 2, 10, 11, 20] {
+            s.dirty_page(f, p, &CauseSet::of(Pid(1)), SimTime::ZERO, &mut tm);
+        }
+        let ranges = s.take_ranges(f, 100, &mut tm);
+        let spans: Vec<(u64, u64)> = ranges.iter().map(|r| (r.start_page, r.len)).collect();
+        assert_eq!(spans, vec![(0, 3), (10, 2), (20, 1)]);
+        assert_eq!(s.total(), 0);
+        assert_eq!(tm.live_bytes(), 0);
+    }
+
+    #[test]
+    fn take_ranges_respects_max() {
+        let mut s = DirtyStore::new();
+        let mut tm = TagMem::new();
+        let f = FileId(1);
+        for p in 0..10 {
+            s.dirty_page(f, p, &CauseSet::of(Pid(1)), SimTime::ZERO, &mut tm);
+        }
+        let ranges = s.take_ranges(f, 4, &mut tm);
+        assert_eq!(ranges.len(), 1);
+        assert_eq!(ranges[0].len, 4);
+        assert_eq!(s.pages_of(f), 6);
+    }
+
+    #[test]
+    fn range_unions_causes_of_member_pages() {
+        let mut s = DirtyStore::new();
+        let mut tm = TagMem::new();
+        let f = FileId(1);
+        s.dirty_page(f, 0, &CauseSet::of(Pid(1)), SimTime::ZERO, &mut tm);
+        s.dirty_page(f, 1, &CauseSet::of(Pid(2)), SimTime::ZERO, &mut tm);
+        let ranges = s.take_ranges(f, 10, &mut tm);
+        assert_eq!(ranges.len(), 1);
+        assert!(ranges[0].causes.contains(Pid(1)));
+        assert!(ranges[0].causes.contains(Pid(2)));
+    }
+
+    #[test]
+    fn oldest_dirty_time_survives_coalescing() {
+        let mut s = DirtyStore::new();
+        let mut tm = TagMem::new();
+        let f = FileId(1);
+        s.dirty_page(f, 0, &CauseSet::of(Pid(1)), SimTime::from_nanos(50), &mut tm);
+        s.dirty_page(f, 1, &CauseSet::of(Pid(1)), SimTime::from_nanos(10), &mut tm);
+        let ranges = s.take_ranges(f, 10, &mut tm);
+        assert_eq!(ranges[0].oldest, SimTime::from_nanos(10));
+    }
+}

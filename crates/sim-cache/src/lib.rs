@@ -1,0 +1,318 @@
+#![warn(missing_docs)]
+//! The page cache: dirty buffers with cause tags, a clean-page LRU, dirty
+//! thresholds, and the tag-memory accounting behind Figure 10.
+//!
+//! The cache is pure state — the writeback *daemon* (deciding when to
+//! flush) lives in `sim-kernel`, and allocation lives in `sim-fs`. This
+//! split mirrors Linux: the page cache knows what is dirty and who dirtied
+//! it; policy lives elsewhere.
+
+pub mod clean;
+pub mod dirty;
+pub mod tagmem;
+
+use sim_core::{CauseSet, FileId, SimTime, PAGE_SIZE};
+
+pub use clean::CleanCache;
+pub use dirty::{DirtyEvent, DirtyStore, PageRange};
+pub use tagmem::TagMem;
+
+/// Page-cache configuration (the knobs of `/proc/sys/vm`).
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Total memory modeled, in bytes.
+    pub mem_bytes: u64,
+    /// Fraction of memory that may be dirty before writers are throttled
+    /// (Linux `dirty_ratio`, default 20%).
+    pub dirty_ratio: f64,
+    /// Fraction at which background writeback starts (Linux
+    /// `dirty_background_ratio`, default 10%).
+    pub dirty_background_ratio: f64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            mem_bytes: 1024 * 1024 * 1024,
+            dirty_ratio: 0.20,
+            dirty_background_ratio: 0.10,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Dirty-throttle threshold in pages.
+    pub fn dirty_limit_pages(&self) -> u64 {
+        ((self.mem_bytes as f64 * self.dirty_ratio) / PAGE_SIZE as f64) as u64
+    }
+
+    /// Background-writeback threshold in pages.
+    pub fn background_pages(&self) -> u64 {
+        ((self.mem_bytes as f64 * self.dirty_background_ratio) / PAGE_SIZE as f64) as u64
+    }
+}
+
+/// The page cache: dirty store + clean LRU + tag accounting.
+pub struct PageCache {
+    cfg: CacheConfig,
+    dirty: DirtyStore,
+    clean: CleanCache,
+    tagmem: TagMem,
+}
+
+impl PageCache {
+    /// A cache with the given configuration.
+    pub fn new(cfg: CacheConfig) -> Self {
+        PageCache {
+            cfg,
+            dirty: DirtyStore::new(),
+            clean: CleanCache::new(cfg.mem_bytes / PAGE_SIZE),
+            tagmem: TagMem::new(),
+        }
+    }
+
+    /// Configuration in effect.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Change the dirty thresholds at runtime (the Figure 10 sweep).
+    pub fn set_dirty_ratios(&mut self, dirty: f64, background: f64) {
+        self.cfg.dirty_ratio = dirty;
+        self.cfg.dirty_background_ratio = background;
+    }
+
+    // ---- write path -----------------------------------------------------
+
+    /// Dirty one page on behalf of `causes`. Returns the event describing
+    /// what happened (fresh dirty vs. overwrite) so the kernel can fire the
+    /// buffer-dirty hook.
+    pub fn dirty_page(
+        &mut self,
+        file: FileId,
+        page: u64,
+        causes: &CauseSet,
+        now: SimTime,
+    ) -> DirtyEvent {
+        let ev = self.dirty.dirty_page(file, page, causes, now, &mut self.tagmem);
+        // A dirtied page is also resident for reads.
+        self.clean.insert(file, page);
+        ev
+    }
+
+    /// Remove up to `max` dirty pages of `file` starting from its lowest
+    /// dirty page, returning contiguous ranges with their merged causes.
+    /// Called by the writeback/fsync path as pages are submitted to the
+    /// block layer; the pages stay readable (clean) afterwards.
+    pub fn take_dirty_ranges(&mut self, file: FileId, max: u64) -> Vec<PageRange> {
+        self.dirty.take_ranges(file, max, &mut self.tagmem)
+    }
+
+    /// All dirty pages of `file` (for fsync cost estimation).
+    pub fn dirty_pages_of(&self, file: FileId) -> u64 {
+        self.dirty.pages_of(file)
+    }
+
+    /// Drop every page of `file` (deletion / truncate). Returns the dirty
+    /// ranges whose writeback was avoided, for the buffer-free hooks.
+    pub fn free_file(&mut self, file: FileId) -> Vec<PageRange> {
+        self.clean.remove_file(file);
+        self.dirty.free_file(file, &mut self.tagmem)
+    }
+
+    // ---- read path ------------------------------------------------------
+
+    /// Check residency of `[page, page+len)`; returns the sub-ranges that
+    /// MISS (must be read from disk). Hits touch the LRU.
+    pub fn read_misses(&mut self, file: FileId, page: u64, len: u64) -> Vec<(u64, u64)> {
+        let mut misses = Vec::new();
+        let mut run_start = None;
+        for p in page..page + len {
+            let hit = self.dirty.contains(file, p) || self.clean.touch(file, p);
+            if hit {
+                if let Some(s) = run_start.take() {
+                    misses.push((s, p - s));
+                }
+            } else if run_start.is_none() {
+                run_start = Some(p);
+            }
+        }
+        if let Some(s) = run_start {
+            misses.push((s, page + len - s));
+        }
+        misses
+    }
+
+    /// Install pages after a read completes.
+    pub fn fill(&mut self, file: FileId, page: u64, len: u64) {
+        for p in page..page + len {
+            self.clean.insert(file, p);
+        }
+    }
+
+    // ---- thresholds & accounting -----------------------------------------
+
+    /// Total dirty pages.
+    pub fn dirty_total(&self) -> u64 {
+        self.dirty.total()
+    }
+
+    /// Whether writers must be throttled (`dirty_ratio` exceeded).
+    pub fn over_dirty_limit(&self) -> bool {
+        self.dirty_total() >= self.cfg.dirty_limit_pages()
+    }
+
+    /// Whether background writeback should run.
+    pub fn over_background(&self) -> bool {
+        self.dirty_total() >= self.cfg.background_pages()
+    }
+
+    /// Files with dirty pages, oldest first (writeback order).
+    pub fn dirty_files_oldest_first(&self) -> Vec<FileId> {
+        self.dirty.files_oldest_first()
+    }
+
+    /// Tag-memory accounting (Figure 10).
+    pub fn tagmem(&self) -> &TagMem {
+        &self.tagmem
+    }
+
+    /// Sample current tag memory into the running max/avg statistics.
+    pub fn sample_tagmem(&mut self) {
+        self.tagmem.sample();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::Pid;
+
+    fn cache_1mb() -> PageCache {
+        PageCache::new(CacheConfig {
+            mem_bytes: 1024 * 1024,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn dirty_then_take_roundtrip() {
+        let mut c = cache_1mb();
+        let f = FileId(1);
+        let causes = CauseSet::of(Pid(10));
+        for p in 0..8 {
+            let ev = c.dirty_page(f, p, &causes, SimTime::ZERO);
+            assert!(ev.prev.is_none());
+            assert_eq!(ev.new_bytes, PAGE_SIZE);
+        }
+        assert_eq!(c.dirty_total(), 8);
+        let ranges = c.take_dirty_ranges(f, 100);
+        assert_eq!(ranges.len(), 1);
+        assert_eq!(ranges[0].start_page, 0);
+        assert_eq!(ranges[0].len, 8);
+        assert!(ranges[0].causes.contains(Pid(10)));
+        assert_eq!(c.dirty_total(), 0);
+        // Pages remain readable after cleaning.
+        assert!(c.read_misses(f, 0, 8).is_empty());
+    }
+
+    #[test]
+    fn overwrite_reports_previous_causes() {
+        let mut c = cache_1mb();
+        let f = FileId(1);
+        c.dirty_page(f, 3, &CauseSet::of(Pid(1)), SimTime::ZERO);
+        let ev = c.dirty_page(f, 3, &CauseSet::of(Pid(2)), SimTime::from_nanos(5));
+        assert_eq!(ev.new_bytes, 0, "overwrite dirties no new bytes");
+        let prev = ev.prev.expect("overwrite must report previous causes");
+        assert!(prev.contains(Pid(1)));
+        assert_eq!(c.dirty_total(), 1);
+        // Both writers are now responsible.
+        let ranges = c.take_dirty_ranges(f, 10);
+        assert!(ranges[0].causes.contains(Pid(1)));
+        assert!(ranges[0].causes.contains(Pid(2)));
+    }
+
+    #[test]
+    fn read_miss_tracking() {
+        let mut c = cache_1mb();
+        let f = FileId(2);
+        assert_eq!(c.read_misses(f, 0, 4), vec![(0, 4)]);
+        c.fill(f, 0, 4);
+        assert!(c.read_misses(f, 0, 4).is_empty());
+        // Partial residency yields the missing tail.
+        assert_eq!(c.read_misses(f, 2, 4), vec![(4, 2)]);
+    }
+
+    #[test]
+    fn dirty_thresholds() {
+        let mut c = PageCache::new(CacheConfig {
+            mem_bytes: 100 * PAGE_SIZE,
+            dirty_ratio: 0.20,
+            dirty_background_ratio: 0.10,
+        });
+        let f = FileId(1);
+        for p in 0..9 {
+            c.dirty_page(f, p, &CauseSet::of(Pid(1)), SimTime::ZERO);
+        }
+        assert!(!c.over_background());
+        c.dirty_page(f, 9, &CauseSet::of(Pid(1)), SimTime::ZERO);
+        assert!(c.over_background());
+        assert!(!c.over_dirty_limit());
+        for p in 10..20 {
+            c.dirty_page(f, p, &CauseSet::of(Pid(1)), SimTime::ZERO);
+        }
+        assert!(c.over_dirty_limit());
+    }
+
+    #[test]
+    fn free_file_returns_avoided_writeback() {
+        let mut c = cache_1mb();
+        let f = FileId(3);
+        for p in 0..5 {
+            c.dirty_page(f, p, &CauseSet::of(Pid(4)), SimTime::ZERO);
+        }
+        let freed = c.free_file(f);
+        assert_eq!(freed.iter().map(|r| r.len).sum::<u64>(), 5);
+        assert_eq!(c.dirty_total(), 0);
+        assert_eq!(c.read_misses(f, 0, 5), vec![(0, 5)]);
+    }
+
+    #[test]
+    fn tagmem_rises_and_falls_with_dirty_tags() {
+        let mut c = cache_1mb();
+        let f = FileId(1);
+        assert_eq!(c.tagmem().live_bytes(), 0);
+        for p in 0..16 {
+            c.dirty_page(f, p, &CauseSet::of(Pid(1)), SimTime::ZERO);
+        }
+        let live = c.tagmem().live_bytes();
+        assert!(live > 0);
+        c.take_dirty_ranges(f, 100);
+        assert_eq!(c.tagmem().live_bytes(), 0);
+        assert!(c.tagmem().max_bytes() >= live);
+    }
+
+    #[test]
+    fn lru_evicts_clean_pages_under_pressure() {
+        // 16-page cache.
+        let mut c = PageCache::new(CacheConfig {
+            mem_bytes: 16 * PAGE_SIZE,
+            ..Default::default()
+        });
+        let f = FileId(1);
+        c.fill(f, 0, 16);
+        assert!(c.read_misses(f, 0, 16).is_empty());
+        // Bring in 8 more pages; the oldest 8 must go.
+        c.fill(f, 100, 8);
+        let misses = c.read_misses(f, 0, 8);
+        assert_eq!(misses, vec![(0, 8)]);
+    }
+
+    #[test]
+    fn writeback_order_is_oldest_file_first() {
+        let mut c = cache_1mb();
+        c.dirty_page(FileId(2), 0, &CauseSet::of(Pid(1)), SimTime::from_nanos(10));
+        c.dirty_page(FileId(1), 0, &CauseSet::of(Pid(1)), SimTime::from_nanos(20));
+        assert_eq!(c.dirty_files_oldest_first(), vec![FileId(2), FileId(1)]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests: dirty-page conservation and residency laws.
+
+use proptest::prelude::*;
+use sim_cache::{CacheConfig, PageCache};
+use sim_core::{CauseSet, FileId, Pid, SimTime};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Dirty { file: u8, page: u16, pid: u8 },
+    Take { file: u8, max: u16 },
+    Free { file: u8 },
+    Fill { file: u8, page: u16, len: u8 },
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u8..4, 0u16..512, 0u8..8).prop_map(|(file, page, pid)| Op::Dirty { file, page, pid }),
+            (0u8..4, 1u16..64).prop_map(|(file, max)| Op::Take { file, max }),
+            (0u8..4).prop_map(|file| Op::Free { file }),
+            (0u8..4, 0u16..512, 1u8..32).prop_map(|(file, page, len)| Op::Fill { file, page, len }),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The dirty counter always equals (dirtied − taken − freed); tag
+    /// memory goes to zero when no dirty pages remain; taken ranges never
+    /// overlap and never exceed what was dirtied.
+    #[test]
+    fn dirty_accounting_is_conserved(ops in ops()) {
+        let mut cache = PageCache::new(CacheConfig {
+            mem_bytes: 16 << 20,
+            ..Default::default()
+        });
+        let mut model: std::collections::HashSet<(u8, u16)> = Default::default();
+        let mut t = 0u64;
+        for op in &ops {
+            t += 1;
+            let now = SimTime::from_nanos(t);
+            match *op {
+                Op::Dirty { file, page, pid } => {
+                    let ev = cache.dirty_page(
+                        FileId(file as u64),
+                        page as u64,
+                        &CauseSet::of(Pid(pid as u32)),
+                        now,
+                    );
+                    let fresh = model.insert((file, page));
+                    prop_assert_eq!(ev.prev.is_some(), !fresh, "overwrite detection");
+                }
+                Op::Take { file, max } => {
+                    let ranges = cache.take_dirty_ranges(FileId(file as u64), max as u64);
+                    let mut taken = 0;
+                    for r in &ranges {
+                        for p in r.start_page..r.start_page + r.len {
+                            prop_assert!(
+                                model.remove(&(file, p as u16)),
+                                "took a page that was not dirty"
+                            );
+                            taken += 1;
+                        }
+                    }
+                    prop_assert!(taken <= max as u64);
+                }
+                Op::Free { file } => {
+                    let freed = cache.free_file(FileId(file as u64));
+                    for r in &freed {
+                        for p in r.start_page..r.start_page + r.len {
+                            prop_assert!(model.remove(&(file, p as u16)));
+                        }
+                    }
+                    prop_assert!(!model.iter().any(|&(f, _)| f == file));
+                }
+                Op::Fill { file, page, len } => {
+                    cache.fill(FileId(file as u64), page as u64, len as u64);
+                }
+            }
+            prop_assert_eq!(cache.dirty_total(), model.len() as u64, "dirty counter drift");
+        }
+        // Drain everything: tag memory returns to zero.
+        for f in 0..4u8 {
+            cache.free_file(FileId(f as u64));
+        }
+        prop_assert_eq!(cache.dirty_total(), 0);
+        prop_assert_eq!(cache.tagmem().live_bytes(), 0, "leaked tag bytes");
+    }
+
+    /// A dirty page is always a cache hit; a taken (cleaned) page stays
+    /// resident.
+    #[test]
+    fn dirty_pages_are_always_resident(pages in proptest::collection::vec(0u16..128, 1..40)) {
+        let mut cache = PageCache::new(CacheConfig {
+            mem_bytes: 64 << 20,
+            ..Default::default()
+        });
+        let f = FileId(1);
+        for &p in &pages {
+            cache.dirty_page(f, p as u64, &CauseSet::of(Pid(1)), SimTime::ZERO);
+            prop_assert!(cache.read_misses(f, p as u64, 1).is_empty());
+        }
+        cache.take_dirty_ranges(f, u64::MAX);
+        for &p in &pages {
+            prop_assert!(
+                cache.read_misses(f, p as u64, 1).is_empty(),
+                "cleaned pages remain readable"
+            );
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Cause sets — the cross-layer tags at the heart of split-level
+//! scheduling (§3.1 of the paper).
+//!
+//! A `CauseSet` records *which processes are responsible* for a piece of
+//! I/O work. Because metadata is shared and I/O is batched, a single dirty
+//! buffer or block request may have several causes, so the tag is a set of
+//! pids rather than a scalar. Proxy tasks (writeback, journal) carry a
+//! cause set describing the processes they are working for; I/O they
+//! produce inherits that set instead of the proxy's own pid.
+//!
+//! The representation is a small sorted vector: cause sets in practice hold
+//! a handful of pids, and a sorted vec gives cheap union/containment with
+//! good locality. The live-byte accounting used by the Figure 10
+//! experiment counts `heap_bytes()` of every allocated tag.
+
+use std::fmt;
+
+use crate::ids::Pid;
+
+/// A set of processes responsible for an I/O operation.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct CauseSet {
+    // Sorted, deduplicated.
+    pids: Vec<Pid>,
+}
+
+impl CauseSet {
+    /// The empty set (no known cause).
+    pub fn empty() -> Self {
+        CauseSet::default()
+    }
+
+    /// A singleton set.
+    pub fn of(pid: Pid) -> Self {
+        CauseSet { pids: vec![pid] }
+    }
+
+    /// Build from arbitrary pids (deduplicated).
+    pub fn from_pids<I: IntoIterator<Item = Pid>>(iter: I) -> Self {
+        let mut pids: Vec<Pid> = iter.into_iter().collect();
+        pids.sort_unstable();
+        pids.dedup();
+        CauseSet { pids }
+    }
+
+    /// Number of distinct causes.
+    pub fn len(&self) -> usize {
+        self.pids.len()
+    }
+
+    /// Whether no cause is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.pids.is_empty()
+    }
+
+    /// Whether `pid` is one of the causes.
+    pub fn contains(&self, pid: Pid) -> bool {
+        self.pids.binary_search(&pid).is_ok()
+    }
+
+    /// Iterate over the causes in ascending pid order.
+    pub fn iter(&self) -> impl Iterator<Item = Pid> + '_ {
+        self.pids.iter().copied()
+    }
+
+    /// Add one cause.
+    pub fn insert(&mut self, pid: Pid) {
+        if let Err(at) = self.pids.binary_search(&pid) {
+            self.pids.insert(at, pid);
+        }
+    }
+
+    /// In-place union with another set.
+    pub fn union_with(&mut self, other: &CauseSet) {
+        if other.is_empty() {
+            return;
+        }
+        if self.is_empty() {
+            self.pids = other.pids.clone();
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.pids.len() + other.pids.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.pids.len() && j < other.pids.len() {
+            match self.pids[i].cmp(&other.pids[j]) {
+                std::cmp::Ordering::Less => {
+                    merged.push(self.pids[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(other.pids[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push(self.pids[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&self.pids[i..]);
+        merged.extend_from_slice(&other.pids[j..]);
+        self.pids = merged;
+    }
+
+    /// Union, by value.
+    pub fn union(mut self, other: &CauseSet) -> CauseSet {
+        self.union_with(other);
+        self
+    }
+
+    /// Heap bytes consumed by this tag — what the paper's Figure 10
+    /// instruments via kmalloc/kfree.
+    pub fn heap_bytes(&self) -> usize {
+        self.pids.capacity() * std::mem::size_of::<Pid>()
+    }
+
+    /// Split a unit of cost evenly among the causes; returns
+    /// `(pid, share)` pairs. An empty set yields nothing.
+    pub fn shares(&self, cost: f64) -> impl Iterator<Item = (Pid, f64)> + '_ {
+        let n = self.pids.len().max(1) as f64;
+        self.pids.iter().map(move |&p| (p, cost / n))
+    }
+}
+
+impl fmt::Debug for CauseSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "causes{:?}", self.pids.iter().map(|p| p.0).collect::<Vec<_>>())
+    }
+}
+
+impl FromIterator<Pid> for CauseSet {
+    fn from_iter<I: IntoIterator<Item = Pid>>(iter: I) -> Self {
+        CauseSet::from_pids(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = CauseSet::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        let s = CauseSet::of(Pid(7));
+        assert!(s.contains(Pid(7)));
+        assert!(!s.contains(Pid(8)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn insert_keeps_sorted_dedup() {
+        let mut s = CauseSet::empty();
+        s.insert(Pid(5));
+        s.insert(Pid(1));
+        s.insert(Pid(5));
+        s.insert(Pid(3));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![Pid(1), Pid(3), Pid(5)]);
+    }
+
+    #[test]
+    fn union_merges_without_duplicates() {
+        let a = CauseSet::from_pids([Pid(1), Pid(3), Pid(5)]);
+        let b = CauseSet::from_pids([Pid(2), Pid(3), Pid(6)]);
+        let u = a.union(&b);
+        assert_eq!(
+            u.iter().collect::<Vec<_>>(),
+            vec![Pid(1), Pid(2), Pid(3), Pid(5), Pid(6)]
+        );
+    }
+
+    #[test]
+    fn union_with_empty_is_identity() {
+        let a = CauseSet::from_pids([Pid(1), Pid(2)]);
+        assert_eq!(a.clone().union(&CauseSet::empty()), a);
+        assert_eq!(CauseSet::empty().union(&a), a);
+    }
+
+    #[test]
+    fn shares_split_evenly() {
+        let s = CauseSet::from_pids([Pid(1), Pid(2), Pid(4), Pid(8)]);
+        let shares: Vec<_> = s.shares(8.0).collect();
+        assert_eq!(shares.len(), 4);
+        for (_, v) in shares {
+            assert!((v - 2.0).abs() < 1e-12);
+        }
+        assert_eq!(CauseSet::empty().shares(8.0).count(), 0);
+    }
+
+    #[test]
+    fn heap_bytes_tracks_capacity() {
+        let s = CauseSet::from_pids([Pid(1), Pid(2), Pid(3)]);
+        assert!(s.heap_bytes() >= 3 * std::mem::size_of::<Pid>());
+        assert_eq!(CauseSet::empty().heap_bytes(), 0);
+    }
+}

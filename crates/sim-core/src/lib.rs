@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+//! Foundation types for the split-level I/O scheduling simulator.
+//!
+//! This crate provides the deterministic substrate every other crate builds
+//! on: a virtual clock ([`SimTime`]), a generic discrete-event queue
+//! ([`EventQueue`]), strongly-typed identifiers ([`Pid`], [`FileId`],
+//! [`BlockNo`], ...), a seeded random-number wrapper ([`SimRng`]) and small
+//! statistics helpers used by the experiment harness.
+//!
+//! Everything here is deliberately free of real I/O and wall-clock time so
+//! that a simulation run is a pure function of its configuration and seed.
+
+pub mod causes;
+pub mod event;
+pub mod ids;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use causes::CauseSet;
+pub use event::{EventQueue, ScheduledEvent};
+pub use ids::{BlockNo, FileId, IdAlloc, KernelId, Pid, RequestId, TxnId};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};
+
+/// Size of one page / filesystem block in bytes. The simulator uses a single
+/// granularity for pages and blocks, matching ext4's common 4 KB setup.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Convert a byte count to the number of pages it occupies (rounding up).
+#[inline]
+pub fn pages_for_bytes(bytes: u64) -> u64 {
+    bytes.div_ceil(PAGE_SIZE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pages_for_bytes_rounds_up() {
+        assert_eq!(pages_for_bytes(0), 0);
+        assert_eq!(pages_for_bytes(1), 1);
+        assert_eq!(pages_for_bytes(PAGE_SIZE), 1);
+        assert_eq!(pages_for_bytes(PAGE_SIZE + 1), 2);
+        assert_eq!(pages_for_bytes(10 * PAGE_SIZE), 10);
+    }
+}

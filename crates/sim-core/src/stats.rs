@@ -1,0 +1,157 @@
+//! Small statistics helpers used by the experiment harness: means,
+//! standard deviations, percentiles and a time-series sampler.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Arithmetic mean; zero for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation; zero for fewer than two samples.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+    var.sqrt()
+}
+
+/// Percentile by the nearest-rank method (`p` in `[0, 100]`). Returns zero
+/// for an empty slice.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Accumulates throughput of a flow: bytes completed over elapsed time.
+#[derive(Debug, Clone, Default)]
+pub struct ThroughputMeter {
+    bytes: u64,
+    start: Option<SimTime>,
+    end: SimTime,
+}
+
+impl ThroughputMeter {
+    /// Fresh meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `bytes` completing at `now`.
+    pub fn record(&mut self, now: SimTime, bytes: u64) {
+        if self.start.is_none() {
+            self.start = Some(now);
+        }
+        self.bytes += bytes;
+        self.end = self.end.max(now);
+    }
+
+    /// Total bytes recorded.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Mean throughput in MB/s over `window`, measuring from t = 0.
+    pub fn mbps_over(&self, window: SimDuration) -> f64 {
+        let secs = window.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.bytes as f64 / 1e6 / secs
+    }
+}
+
+/// Samples a cumulative byte counter into fixed-width time buckets, giving a
+/// throughput-over-time series (used for the Figure 1 recovery plot).
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    bucket: SimDuration,
+    buckets: Vec<u64>,
+}
+
+impl TimeSeries {
+    /// A series with the given bucket width.
+    pub fn new(bucket: SimDuration) -> Self {
+        assert!(bucket.as_nanos() > 0, "bucket width must be positive");
+        TimeSeries {
+            bucket,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Add `bytes` at time `now` to the containing bucket.
+    pub fn record(&mut self, now: SimTime, bytes: u64) {
+        let idx = (now.as_nanos() / self.bucket.as_nanos()) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += bytes;
+    }
+
+    /// Per-bucket throughput in MB/s.
+    pub fn mbps(&self) -> Vec<f64> {
+        let secs = self.bucket.as_secs_f64();
+        self.buckets.iter().map(|&b| b as f64 / 1e6 / secs).collect()
+    }
+
+    /// Bucket width.
+    pub fn bucket_width(&self) -> SimDuration {
+        self.bucket
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        let s = stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 50.0), 50.0);
+        assert_eq!(percentile(&xs, 99.0), 99.0);
+        assert_eq!(percentile(&xs, 100.0), 100.0);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn throughput_meter() {
+        let mut m = ThroughputMeter::new();
+        m.record(SimTime::from_nanos(1_000_000_000), 10_000_000);
+        m.record(SimTime::from_nanos(2_000_000_000), 10_000_000);
+        assert_eq!(m.total_bytes(), 20_000_000);
+        let mbps = m.mbps_over(SimDuration::from_secs(2));
+        assert!((mbps - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_series_buckets() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(1));
+        ts.record(SimTime::from_nanos(100), 1_000_000);
+        ts.record(SimTime::from_nanos(1_500_000_000), 2_000_000);
+        ts.record(SimTime::from_nanos(1_600_000_000), 1_000_000);
+        let mbps = ts.mbps();
+        assert_eq!(mbps.len(), 2);
+        assert!((mbps[0] - 1.0).abs() < 1e-9);
+        assert!((mbps[1] - 3.0).abs() < 1e-9);
+    }
+}

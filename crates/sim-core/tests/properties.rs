@@ -1,0 +1,95 @@
+//! Property-based tests for the foundation types.
+
+use proptest::prelude::*;
+use sim_core::{CauseSet, EventQueue, Pid, SimTime};
+
+fn pids() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0u32..100, 0..20)
+}
+
+proptest! {
+    /// Union is commutative, associative and idempotent; the result
+    /// contains exactly the union of members.
+    #[test]
+    fn cause_set_union_laws(a in pids(), b in pids(), c in pids()) {
+        let sa = CauseSet::from_pids(a.iter().map(|&p| Pid(p)));
+        let sb = CauseSet::from_pids(b.iter().map(|&p| Pid(p)));
+        let sc = CauseSet::from_pids(c.iter().map(|&p| Pid(p)));
+        // commutative
+        prop_assert_eq!(sa.clone().union(&sb), sb.clone().union(&sa));
+        // associative
+        prop_assert_eq!(
+            sa.clone().union(&sb).union(&sc),
+            sa.clone().union(&sb.clone().union(&sc))
+        );
+        // idempotent
+        prop_assert_eq!(sa.clone().union(&sa), sa.clone());
+        // membership
+        let u = sa.clone().union(&sb);
+        for &p in a.iter().chain(b.iter()) {
+            prop_assert!(u.contains(Pid(p)));
+        }
+        prop_assert_eq!(
+            u.len(),
+            a.iter().chain(b.iter()).collect::<std::collections::HashSet<_>>().len()
+        );
+    }
+
+    /// Iteration is always sorted and duplicate-free.
+    #[test]
+    fn cause_set_is_sorted_and_deduped(a in pids()) {
+        let s = CauseSet::from_pids(a.iter().map(|&p| Pid(p)));
+        let v: Vec<Pid> = s.iter().collect();
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(v, sorted);
+    }
+
+    /// Shares always sum to the full cost (when non-empty).
+    #[test]
+    fn cause_set_shares_conserve_cost(a in pids(), cost in 0.0f64..1e9) {
+        let s = CauseSet::from_pids(a.iter().map(|&p| Pid(p)));
+        let total: f64 = s.shares(cost).map(|(_, v)| v).sum();
+        if s.is_empty() {
+            prop_assert_eq!(total, 0.0);
+        } else {
+            prop_assert!((total - cost).abs() < 1e-6 * cost.max(1.0));
+        }
+    }
+
+    /// The event queue pops every scheduled event exactly once, in
+    /// non-decreasing time order, with FIFO among equal times.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(times in proptest::collection::vec(0u64..1000, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut popped = Vec::new();
+        let mut last = (SimTime::ZERO, 0u64);
+        while let Some(ev) = q.pop() {
+            prop_assert!(ev.time >= last.0, "time went backwards");
+            if ev.time == last.0 {
+                prop_assert!(ev.seq > last.1, "ties must pop in insertion order");
+            }
+            last = (ev.time, ev.seq);
+            popped.push(ev.payload);
+        }
+        popped.sort_unstable();
+        prop_assert_eq!(popped, (0..times.len()).collect::<Vec<_>>());
+    }
+
+    /// Percentile is always one of the inputs and monotone in p.
+    #[test]
+    fn percentile_is_monotone(xs in proptest::collection::vec(0.0f64..1e6, 1..50)) {
+        let p50 = sim_core::stats::percentile(&xs, 50.0);
+        let p90 = sim_core::stats::percentile(&xs, 90.0);
+        let p100 = sim_core::stats::percentile(&xs, 100.0);
+        prop_assert!(xs.contains(&p50));
+        prop_assert!(p50 <= p90);
+        prop_assert!(p90 <= p100);
+        let max = xs.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert_eq!(p100, max);
+    }
+}

@@ -1,0 +1,137 @@
+#![warn(missing_docs)]
+//! Storage-device models.
+//!
+//! The paper evaluates on a 500 GB Western Digital hard drive and an 80 GB
+//! Intel X25-M SSD. This crate provides cost models for both: given a
+//! request's direction, start block and length, a [`DiskModel`] returns the
+//! simulated service time and updates its internal mechanical state (head
+//! position for the HDD).
+//!
+//! The models are intentionally simple — what the experiments need is the
+//! *relative* cost structure (random ≪ sequential on disk, much flatter on
+//! flash), not nanosecond fidelity.
+
+pub mod hdd;
+pub mod ssd;
+
+use sim_core::{BlockNo, SimDuration};
+
+pub use hdd::HddModel;
+pub use ssd::SsdModel;
+
+/// Direction of a device-level transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoDir {
+    /// Read from media.
+    Read,
+    /// Write to media.
+    Write,
+}
+
+/// The geometry-independent description of one device request.
+#[derive(Debug, Clone, Copy)]
+pub struct DiskRequestShape {
+    /// Transfer direction.
+    pub dir: IoDir,
+    /// First block of the transfer.
+    pub start: BlockNo,
+    /// Length in 4 KB blocks (always at least 1).
+    pub nblocks: u64,
+}
+
+impl DiskRequestShape {
+    /// Convenience constructor; clamps zero-length requests to one block.
+    pub fn new(dir: IoDir, start: BlockNo, nblocks: u64) -> Self {
+        DiskRequestShape {
+            dir,
+            start,
+            nblocks: nblocks.max(1),
+        }
+    }
+
+    /// Transfer size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.nblocks * sim_core::PAGE_SIZE
+    }
+
+    /// One past the last block touched.
+    pub fn end(&self) -> BlockNo {
+        BlockNo(self.start.raw() + self.nblocks)
+    }
+}
+
+/// A device service-time model.
+///
+/// `service_time` commits the request: it both returns the cost and moves
+/// the model's mechanical state (e.g. the disk head). `peek_service_time`
+/// answers "what would this cost right now?" without committing — block
+/// schedulers use it to pick cheap requests and token schedulers use it to
+/// charge normalized costs.
+pub trait DiskModel {
+    /// Cost of servicing `shape` from the current state, committing the
+    /// state change.
+    fn service_time(&mut self, shape: &DiskRequestShape) -> SimDuration;
+
+    /// Cost of servicing `shape` from the current state, without changing
+    /// state.
+    fn peek_service_time(&self, shape: &DiskRequestShape) -> SimDuration;
+
+    /// Sustained sequential bandwidth in bytes/second; the unit cost that
+    /// token normalization divides by.
+    fn seq_bandwidth(&self) -> f64;
+
+    /// Total capacity in blocks.
+    fn capacity_blocks(&self) -> u64;
+
+    /// Short human-readable name ("hdd" / "ssd").
+    fn name(&self) -> &'static str;
+
+    /// Whether seek distance matters (true for HDD). Schedulers use this to
+    /// decide if sorting by location is worthwhile.
+    fn is_rotational(&self) -> bool;
+}
+
+/// Running counters a device keeps about its own activity.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeviceStats {
+    /// Requests serviced.
+    pub requests: u64,
+    /// Bytes transferred.
+    pub bytes: u64,
+    /// Total busy time.
+    pub busy: SimDuration,
+}
+
+impl DeviceStats {
+    /// Record one serviced request.
+    pub fn record(&mut self, shape: &DiskRequestShape, took: SimDuration) {
+        self.requests += 1;
+        self.bytes += shape.bytes();
+        self.busy += took;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_basics() {
+        let s = DiskRequestShape::new(IoDir::Read, BlockNo(10), 4);
+        assert_eq!(s.bytes(), 16384);
+        assert_eq!(s.end(), BlockNo(14));
+        let z = DiskRequestShape::new(IoDir::Write, BlockNo(0), 0);
+        assert_eq!(z.nblocks, 1);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut st = DeviceStats::default();
+        let s = DiskRequestShape::new(IoDir::Read, BlockNo(0), 2);
+        st.record(&s, SimDuration::from_millis(5));
+        st.record(&s, SimDuration::from_millis(5));
+        assert_eq!(st.requests, 2);
+        assert_eq!(st.bytes, 16384);
+        assert_eq!(st.busy, SimDuration::from_millis(10));
+    }
+}

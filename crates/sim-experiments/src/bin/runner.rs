@@ -1,0 +1,205 @@
+//! Experiment runner: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! runner [--paper] [--csv] [fig01|fig03|fig05|fig06|fig09|fig10|fig11|
+//!         fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|fig20|fig21|
+//!         ablations|all]
+//! ```
+//!
+//! `--paper` uses the longer paper-scale configurations; the default
+//! quick profiles finish in seconds each (release build recommended).
+//! `--csv` additionally writes raw per-figure series under `results/`.
+
+use sim_experiments as exp;
+
+/// Write per-figure raw series as CSV files under `results/`.
+fn write_csv(name: &str, content: &str) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{name}.csv"));
+        if std::fs::write(&path, content).is_ok() {
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paper = args.iter().any(|a| a == "--paper");
+    let csv = args.iter().any(|a| a == "--csv");
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let all = which.is_empty() || which.contains(&"all");
+    let want = |name: &str| all || which.contains(&name);
+
+    if want("fig01") {
+        let cfg = if paper {
+            exp::fig01_write_burst::Config::paper()
+        } else {
+            exp::fig01_write_burst::Config::quick()
+        };
+        let r = exp::fig01_write_burst::run(&cfg);
+        println!("{r}\n");
+        if csv {
+            let mut out = String::from("second,cfq_mbps,split_mbps\n");
+            let n = r.cfq_idle.a_mbps.len().max(r.split_token.a_mbps.len());
+            for i in 0..n {
+                out.push_str(&format!(
+                    "{},{:.2},{:.2}\n",
+                    i,
+                    r.cfq_idle.a_mbps.get(i).copied().unwrap_or(0.0),
+                    r.split_token.a_mbps.get(i).copied().unwrap_or(0.0)
+                ));
+            }
+            write_csv("fig01_write_burst", &out);
+        }
+    }
+    if want("fig03") {
+        let cfg = if paper {
+            exp::fig03_cfq_async_unfair::Config::paper()
+        } else {
+            exp::fig03_cfq_async_unfair::Config::quick()
+        };
+        println!("{}\n", exp::fig03_cfq_async_unfair::run(&cfg));
+    }
+    if want("fig05") {
+        let cfg = if paper {
+            exp::fig05_latency_dependency::Config::paper()
+        } else {
+            exp::fig05_latency_dependency::Config::quick()
+        };
+        println!("{}\n", exp::fig05_latency_dependency::run(&cfg));
+    }
+    if want("fig06") {
+        let cfg = if paper {
+            exp::fig06_scs_isolation::Config::paper()
+        } else {
+            exp::fig06_scs_isolation::Config::quick()
+        };
+        println!("{}\n", exp::fig06_scs_isolation::run(&cfg));
+    }
+    if want("fig09") {
+        let cfg = if paper {
+            exp::fig09_time_overhead::Config::paper()
+        } else {
+            exp::fig09_time_overhead::Config::quick()
+        };
+        println!("{}\n", exp::fig09_time_overhead::run(&cfg));
+    }
+    if want("fig10") {
+        let cfg = if paper {
+            exp::fig10_space_overhead::Config::paper()
+        } else {
+            exp::fig10_space_overhead::Config::quick()
+        };
+        println!("{}\n", exp::fig10_space_overhead::run(&cfg));
+    }
+    if want("fig11") {
+        let cfg = if paper {
+            exp::fig11_afq::Config::paper()
+        } else {
+            exp::fig11_afq::Config::quick()
+        };
+        println!("{}\n", exp::fig11_afq::run(&cfg));
+    }
+    if want("fig12") {
+        let cfg = if paper {
+            exp::fig12_fsync_isolation::Config::paper_hdd()
+        } else {
+            exp::fig12_fsync_isolation::Config::quick_hdd()
+        };
+        let r = exp::fig12_fsync_isolation::run(&cfg);
+        println!("{r}\n");
+        if csv {
+            for (label, s) in [("block", &r.block), ("split", &r.split)] {
+                let mut out = String::from("t_s,latency_ms\n");
+                for (t, l) in &s.a_latencies {
+                    out.push_str(&format!("{t:.3},{l:.3}\n"));
+                }
+                write_csv(&format!("fig12_hdd_{label}_timeline"), &out);
+            }
+        }
+        let ssd = exp::fig12_fsync_isolation::Config::quick_ssd();
+        println!("{}\n", exp::fig12_fsync_isolation::run(&ssd));
+    }
+    if want("fig13") {
+        let cfg = if paper {
+            exp::fig06_scs_isolation::Config::paper()
+        } else {
+            exp::fig06_scs_isolation::Config::quick()
+        };
+        println!("{}\n", exp::fig06_scs_isolation::run_fig13(&cfg));
+    }
+    if want("fig14") {
+        let cfg = if paper {
+            exp::fig14_token_comparison::Config::paper()
+        } else {
+            exp::fig14_token_comparison::Config::quick()
+        };
+        println!("{}\n", exp::fig14_token_comparison::run(&cfg));
+    }
+    if want("fig15") {
+        let cfg = if paper {
+            exp::fig15_thread_scaling::Config::paper()
+        } else {
+            exp::fig15_thread_scaling::Config::quick()
+        };
+        println!("{}\n", exp::fig15_thread_scaling::run(&cfg));
+    }
+    if want("fig16") {
+        let cfg = if paper {
+            exp::fig06_scs_isolation::Config::paper()
+        } else {
+            exp::fig06_scs_isolation::Config::quick()
+        };
+        println!("{}\n", exp::fig06_scs_isolation::run_fig16(&cfg));
+    }
+    if want("fig17") {
+        let cfg = if paper {
+            exp::fig17_metadata::Config::paper()
+        } else {
+            exp::fig17_metadata::Config::quick()
+        };
+        println!("{}\n", exp::fig17_metadata::run(&cfg));
+    }
+    if want("fig18") {
+        let cfg = if paper {
+            exp::fig18_sqlite::Config::paper()
+        } else {
+            exp::fig18_sqlite::Config::quick()
+        };
+        println!("{}\n", exp::fig18_sqlite::run(&cfg));
+    }
+    if want("fig19") {
+        let cfg = if paper {
+            exp::fig19_postgres::Config::paper()
+        } else {
+            exp::fig19_postgres::Config::quick()
+        };
+        println!("{}\n", exp::fig19_postgres::run(&cfg));
+    }
+    if want("fig20") {
+        let cfg = if paper {
+            exp::fig20_qemu::Config::paper()
+        } else {
+            exp::fig20_qemu::Config::quick()
+        };
+        println!("{}\n", exp::fig20_qemu::run(&cfg));
+    }
+    if want("ablations") {
+        println!("{}", exp::ablations::burst_ablation(sim_core::SimDuration::from_secs(20)));
+        println!("{}", exp::ablations::tag_ablation(sim_core::SimDuration::from_secs(20)));
+        println!("{}", exp::ablations::gate_ablation(sim_core::SimDuration::from_secs(15)));
+    }
+    if want("fig21") {
+        let cfg = if paper {
+            exp::fig21_hdfs::Config::paper()
+        } else {
+            exp::fig21_hdfs::Config::quick()
+        };
+        println!("{}\n", exp::fig21_hdfs::run(&cfg));
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! Experiment harness: one module per table/figure of the paper's
+//! evaluation. Every module exposes a `Config` (with `quick()` for tests
+//! and `paper()` for full runs), a `run(&Config) -> …Result` function, and
+//! a `Display` impl that prints the same rows/series the paper plots.
+//!
+//! The absolute numbers differ from the paper's 2015 testbed — the
+//! substrate here is a simulator — but the *shapes* (who wins, by what
+//! factor, where crossovers fall) are the reproduction target; see
+//! EXPERIMENTS.md for the figure-by-figure comparison.
+
+pub mod ablations;
+pub mod fig01_write_burst;
+pub mod fig03_cfq_async_unfair;
+pub mod fig05_latency_dependency;
+pub mod fig06_scs_isolation;
+pub mod fig09_time_overhead;
+pub mod fig10_space_overhead;
+pub mod fig11_afq;
+pub mod fig12_fsync_isolation;
+pub mod fig14_token_comparison;
+pub mod fig15_thread_scaling;
+pub mod fig17_metadata;
+pub mod fig18_sqlite;
+pub mod fig19_postgres;
+pub mod fig20_qemu;
+pub mod fig21_hdfs;
+pub mod setup;
+pub mod table;
+
+pub use setup::{build_world, DeviceChoice, SchedChoice, Setup};
+
+/// Re-exported units for experiment configs.
+pub const KB: u64 = 1024;
+/// One mebibyte.
+pub const MB: u64 = 1024 * 1024;
+/// One gibibyte.
+pub const GB: u64 = 1024 * 1024 * 1024;

@@ -1,0 +1,213 @@
+//! Shared experiment setup: build a world with a chosen scheduler, device
+//! and file system.
+
+use sim_block::{BlockDeadline, Cfq, DeadlineConfig, Noop};
+use sim_cache::CacheConfig;
+use sim_core::KernelId;
+use sim_device::{HddModel, SsdModel};
+use sim_kernel::{DeviceKind, KernelConfig, World};
+pub use sim_kernel::FsChoice;
+use split_core::{BlockOnly, IoSched};
+use split_schedulers::{Afq, ScsToken, SplitDeadline, SplitNoop, SplitToken};
+
+/// Which scheduler to install.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedChoice {
+    /// Block-level FIFO.
+    Noop,
+    /// Linux CFQ (block level).
+    Cfq,
+    /// Linux deadline elevator (block level), stock expiries.
+    BlockDeadline,
+    /// Block-Deadline with explicit default expiries (ms): (read, write).
+    BlockDeadlineWith(u64, u64),
+    /// The SCS-Token baseline (gates reads).
+    ScsToken,
+    /// AFQ (§5.1).
+    Afq,
+    /// Split-Deadline, scheduler-owned writeback (§5.2).
+    SplitDeadline,
+    /// Split-Deadline, pdflush still running ("Split-Pdflush", Fig 19).
+    SplitPdflush,
+    /// Split-Token (§5.3).
+    SplitToken,
+    /// All split hooks wired, no policy (Fig 9 overhead probe).
+    SplitNoop,
+}
+
+impl SchedChoice {
+    fn build(self) -> Box<dyn IoSched> {
+        match self {
+            SchedChoice::Noop => Box::new(BlockOnly::new(Noop::new())),
+            SchedChoice::Cfq => Box::new(BlockOnly::new(Cfq::new())),
+            SchedChoice::BlockDeadline => Box::new(BlockOnly::new(BlockDeadline::new())),
+            SchedChoice::BlockDeadlineWith(r, w) => {
+                Box::new(BlockOnly::new(BlockDeadline::with_config(DeadlineConfig {
+                    read_expire: sim_core::SimDuration::from_millis(r),
+                    write_expire: sim_core::SimDuration::from_millis(w),
+                    ..Default::default()
+                })))
+            }
+            SchedChoice::ScsToken => Box::new(ScsToken::new()),
+            SchedChoice::Afq => Box::new(Afq::new()),
+            SchedChoice::SplitDeadline => Box::new(SplitDeadline::new()),
+            SchedChoice::SplitPdflush => Box::new(SplitDeadline::pdflush_variant()),
+            SchedChoice::SplitToken => Box::new(SplitToken::new()),
+            SchedChoice::SplitNoop => Box::new(SplitNoop::new()),
+        }
+    }
+
+    /// Whether the SCS architecture (reads pass the gate).
+    pub fn gates_reads(self) -> bool {
+        matches!(self, SchedChoice::ScsToken)
+    }
+
+    /// Whether the kernel's own pdflush should run.
+    pub fn wants_pdflush(self) -> bool {
+        !matches!(self, SchedChoice::SplitDeadline)
+    }
+
+    /// Short name for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedChoice::Noop => "noop",
+            SchedChoice::Cfq => "cfq",
+            SchedChoice::BlockDeadline | SchedChoice::BlockDeadlineWith(..) => "block-deadline",
+            SchedChoice::ScsToken => "scs-token",
+            SchedChoice::Afq => "afq",
+            SchedChoice::SplitDeadline => "split-deadline",
+            SchedChoice::SplitPdflush => "split-pdflush",
+            SchedChoice::SplitToken => "split-token",
+            SchedChoice::SplitNoop => "split-noop",
+        }
+    }
+}
+
+/// Which device model to attach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceChoice {
+    /// 500 GB 7200 RPM disk.
+    Hdd,
+    /// 80 GB flash SSD.
+    Ssd,
+}
+
+impl DeviceChoice {
+    fn build(self) -> DeviceKind {
+        match self {
+            DeviceChoice::Hdd => DeviceKind::Physical(Box::new(HddModel::new())),
+            DeviceChoice::Ssd => DeviceKind::Physical(Box::new(SsdModel::new())),
+        }
+    }
+}
+
+/// Experiment machine description.
+#[derive(Debug, Clone, Copy)]
+pub struct Setup {
+    /// Scheduler under test.
+    pub sched: SchedChoice,
+    /// Device model.
+    pub device: DeviceChoice,
+    /// File system.
+    pub fs: FsChoice,
+    /// Modeled RAM.
+    pub mem_bytes: u64,
+    /// Cores.
+    pub cores: u32,
+    /// Dirty ratio override (default 0.20).
+    pub dirty_ratio: f64,
+}
+
+impl Setup {
+    /// A machine with the given scheduler on an HDD with ext4 and 512 MB
+    /// of memory (the scaled-down default).
+    pub fn new(sched: SchedChoice) -> Self {
+        Setup {
+            sched,
+            device: DeviceChoice::Hdd,
+            fs: FsChoice::Ext4,
+            mem_bytes: 512 * 1024 * 1024,
+            cores: 8,
+            dirty_ratio: 0.20,
+        }
+    }
+
+    /// Switch to the SSD model.
+    pub fn on_ssd(mut self) -> Self {
+        self.device = DeviceChoice::Ssd;
+        self
+    }
+
+    /// Switch to XFS (partial integration).
+    pub fn on_xfs(mut self) -> Self {
+        self.fs = FsChoice::Xfs;
+        self
+    }
+
+    /// Override memory size.
+    pub fn mem(mut self, bytes: u64) -> Self {
+        self.mem_bytes = bytes;
+        self
+    }
+
+    /// Override core count.
+    pub fn cores(mut self, n: u32) -> Self {
+        self.cores = n;
+        self
+    }
+
+    /// Override the dirty ratio (background ratio tracks at half).
+    pub fn dirty_ratio(mut self, r: f64) -> Self {
+        self.dirty_ratio = r;
+        self
+    }
+}
+
+/// Build a world with a single kernel per the setup.
+pub fn build_world(setup: Setup) -> (World, KernelId) {
+    let mut w = World::new();
+    let cfg = KernelConfig {
+        fs: setup.fs,
+        cache: CacheConfig {
+            mem_bytes: setup.mem_bytes,
+            dirty_ratio: setup.dirty_ratio,
+            dirty_background_ratio: setup.dirty_ratio / 2.0,
+        },
+        cores: setup.cores,
+        pdflush: setup.sched.wants_pdflush(),
+        gate_reads: setup.sched.gates_reads(),
+        ..Default::default()
+    };
+    let k = w.add_kernel(cfg, setup.device.build(), setup.sched.build());
+    (w, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_fs::FileSystem as _;
+
+    #[test]
+    fn builders_compose() {
+        let s = Setup::new(SchedChoice::SplitToken)
+            .on_ssd()
+            .on_xfs()
+            .mem(64 * 1024 * 1024)
+            .cores(32)
+            .dirty_ratio(0.5);
+        assert_eq!(s.device, DeviceChoice::Ssd);
+        assert_eq!(s.fs, FsChoice::Xfs);
+        assert_eq!(s.cores, 32);
+        let (w, k) = build_world(s);
+        assert_eq!(w.kernel(k).fs().name(), "xfs");
+        assert_eq!(w.kernel(k).sched().name(), "split-token");
+    }
+
+    #[test]
+    fn scs_gates_reads_and_split_deadline_owns_writeback() {
+        assert!(SchedChoice::ScsToken.gates_reads());
+        assert!(!SchedChoice::SplitToken.gates_reads());
+        assert!(!SchedChoice::SplitDeadline.wants_pdflush());
+        assert!(SchedChoice::SplitPdflush.wants_pdflush());
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for allocation and extent mapping: no two files
+//! ever share a block, and lookups agree with range queries.
+
+use proptest::prelude::*;
+use sim_fs::alloc::{Allocator, ExtentMap};
+use sim_core::FileId;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Blocks handed out by the allocator never overlap, across any
+    /// interleaving of files and sizes.
+    #[test]
+    fn allocator_never_overlaps(
+        grants in proptest::collection::vec((0u64..8, 1u64..500), 1..60)
+    ) {
+        let mut a = Allocator::new(0, 1 << 24, 256, 42);
+        let mut used: std::collections::HashSet<u64> = Default::default();
+        for (file, n) in grants {
+            for (start, len) in a.alloc(FileId(file), n) {
+                for b in start.raw()..start.raw() + len {
+                    prop_assert!(used.insert(b), "block {b} double-allocated");
+                }
+            }
+        }
+    }
+
+    /// Scattered allocation also never overlaps and covers the request.
+    #[test]
+    fn scattered_allocation_is_exact(sizes in proptest::collection::vec(1u64..2000, 1..20)) {
+        let mut a = Allocator::new(0, 1 << 26, 256, 7);
+        let mut used: std::collections::HashSet<u64> = Default::default();
+        for n in sizes {
+            let runs = a.alloc_scattered(n, 64);
+            let total: u64 = runs.iter().map(|r| r.1).sum();
+            prop_assert_eq!(total, n);
+            for (start, len) in runs {
+                for b in start.raw()..start.raw() + len {
+                    prop_assert!(used.insert(b));
+                }
+            }
+        }
+    }
+
+    /// `lookup` and `extents_for` agree page by page.
+    #[test]
+    fn extent_map_lookup_matches_ranges(
+        inserts in proptest::collection::vec((0u64..100u64, 1u64..20), 1..15),
+        query in (0u64..150, 1u64..40),
+    ) {
+        let mut m = ExtentMap::new();
+        let mut next_block = 1000u64;
+        let mut covered: std::collections::BTreeMap<u64, u64> = Default::default();
+        for (page, len) in inserts {
+            // Skip overlapping inserts (the fs never produces them).
+            if (page..page + len).any(|p| covered.contains_key(&p)) {
+                continue;
+            }
+            m.insert(page, sim_core::BlockNo(next_block), len);
+            for (i, p) in (page..page + len).enumerate() {
+                covered.insert(p, next_block + i as u64);
+            }
+            next_block += len + 10;
+        }
+        let (qp, ql) = query;
+        let extents = m.extents_for(qp, ql);
+        // Every page the range query covers must match lookup, and
+        // vice versa.
+        let mut from_ranges: std::collections::BTreeMap<u64, u64> = Default::default();
+        for e in &extents {
+            for i in 0..e.len {
+                from_ranges.insert(e.page + i, e.start.raw() + i);
+            }
+        }
+        for p in qp..qp + ql {
+            prop_assert_eq!(
+                m.lookup(p).map(|b| b.raw()),
+                from_ranges.get(&p).copied(),
+                "disagreement at page {}", p
+            );
+            prop_assert_eq!(
+                m.lookup(p).map(|b| b.raw()),
+                covered.get(&p).copied(),
+                "model disagreement at page {}", p
+            );
+        }
+    }
+}

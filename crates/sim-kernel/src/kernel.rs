@@ -1,0 +1,1067 @@
+//! One machine's storage stack: processes → syscall layer → page cache →
+//! file system → block layer → device, with the scheduler's hooks woven
+//! through all of it.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use sim_block::{Dispatch, IoPrio, PrioClass, ReqKind, Request};
+use sim_cache::{CacheConfig, PageCache};
+use sim_core::stats::TimeSeries;
+use sim_core::{
+    CauseSet, FileId, IdAlloc, KernelId, Pid, RequestId, SimDuration, SimTime, PAGE_SIZE,
+};
+use sim_device::{DiskModel, HddModel, SsdModel};
+use sim_fs::{FileSystem, FsEvent, FsOutput, IoToken, JournaledFs};
+use split_core::{BufferDirtied, BufferFreed, Gate, IoSched, SchedAttr, SchedCmd, SchedCtx,
+    SyscallInfo, SyscallKind};
+
+use crate::cpu::{CpuCosts, CpuModel};
+use crate::process::{Outcome, ProcAction, ProcessLogic};
+use crate::stats::KernelStats;
+use crate::world::{AppEvent, Bus, CrossAction, Event, InjectTarget};
+
+/// The device backing a kernel's block layer.
+pub enum DeviceKind {
+    /// A physical disk model.
+    Physical(Box<dyn DiskModel>),
+    /// A virtual disk backed by a file on another (host) kernel — the
+    /// QEMU configuration of §7.2. Guest block requests become host file
+    /// syscalls issued by the host-side VMM process.
+    Virtual {
+        /// Host kernel.
+        host: KernelId,
+        /// Host file acting as the disk image.
+        host_file: FileId,
+        /// Host-side VMM process issuing the I/O.
+        host_pid: Pid,
+        /// Stand-in model for scheduler cost peeks inside the guest.
+        peek: SsdModel,
+    },
+}
+
+impl DeviceKind {
+    /// A default hard disk.
+    pub fn hdd() -> Self {
+        DeviceKind::Physical(Box::new(HddModel::new()))
+    }
+
+    /// A default SSD.
+    pub fn ssd() -> Self {
+        DeviceKind::Physical(Box::new(SsdModel::new()))
+    }
+
+    /// A virtual disk (see [`DeviceKind::Virtual`]).
+    pub fn virtio(host: KernelId, host_file: FileId, host_pid: Pid) -> Self {
+        DeviceKind::Virtual {
+            host,
+            host_file,
+            host_pid,
+            peek: SsdModel::new(),
+        }
+    }
+
+    fn peek(&self) -> &dyn DiskModel {
+        match self {
+            DeviceKind::Physical(m) => m.as_ref(),
+            DeviceKind::Virtual { peek, .. } => peek,
+        }
+    }
+
+    fn capacity_blocks(&self) -> u64 {
+        self.peek().capacity_blocks()
+    }
+}
+
+/// Which file system to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsChoice {
+    /// ext4, fully integrated with the split framework.
+    Ext4,
+    /// XFS, partially integrated (untagged log task).
+    Xfs,
+}
+
+/// Kernel construction parameters.
+pub struct KernelConfig {
+    /// File system.
+    pub fs: FsChoice,
+    /// Page-cache configuration.
+    pub cache: CacheConfig,
+    /// CPU cores.
+    pub cores: u32,
+    /// Whether the background writeback daemon (pdflush) runs on its own.
+    /// Split-Deadline disables it to take full control of writeback
+    /// (§7.1.2).
+    pub pdflush: bool,
+    /// Whether read syscalls pass through the scheduler's entry gate.
+    /// False for block and split schedulers (the paper schedules reads
+    /// below the cache); true for the SCS architecture.
+    pub gate_reads: bool,
+    /// CPU cost parameters.
+    pub cpu: CpuCosts,
+    /// Pages per background writeback pass.
+    pub wb_batch_pages: u64,
+    /// Background writeback poll interval.
+    pub wb_tick: SimDuration,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            fs: FsChoice::Ext4,
+            cache: CacheConfig::default(),
+            cores: 8,
+            pdflush: true,
+            gate_reads: false,
+            cpu: CpuCosts::default(),
+            wb_batch_pages: 2048,
+            wb_tick: SimDuration::from_millis(200),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ProcAttrs {
+    ioprio: IoPrio,
+    read_deadline: Option<SimDuration>,
+    write_deadline: Option<SimDuration>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PState {
+    Fresh,
+    Computing,
+    Sleeping,
+    GateWait,
+    DirtyWait,
+    IoWait,
+    PostCpu,
+    ExternalIdle,
+    Exited,
+}
+
+struct CurSyscall {
+    kind: SyscallKind,
+    entered: SimTime,
+    gate_since: Option<SimTime>,
+    gated: bool,
+    pending_io: HashSet<RequestId>,
+}
+
+struct Proc {
+    logic: Option<Box<dyn ProcessLogic>>,
+    state: PState,
+    cur: Option<CurSyscall>,
+    last: Outcome,
+    inject_target: Option<InjectTarget>,
+}
+
+#[derive(Default)]
+struct ReqMeta {
+    fs_token: Option<IoToken>,
+    reader: Option<Pid>,
+    fill: Option<(FileId, u64, u64)>,
+    dirty_pages: u64,
+}
+
+/// One simulated machine.
+pub struct Kernel {
+    /// This kernel's id in the world.
+    pub id: KernelId,
+    cfg: KernelConfig,
+    sched: Box<dyn IoSched>,
+    device: DeviceKind,
+    inflight: Option<(Request, SimDuration)>,
+    req_meta: HashMap<RequestId, ReqMeta>,
+    req_ids: IdAlloc,
+    fs: JournaledFs,
+    cache: PageCache,
+    procs: HashMap<Pid, Proc>,
+    attrs: HashMap<Pid, ProcAttrs>,
+    pid_alloc: u32,
+    cpu: CpuModel,
+    dirty_waiters: VecDeque<Pid>,
+    /// Dirty pages submitted to the block layer but not yet on media;
+    /// still counted against the dirty threshold.
+    wb_inflight_pages: u64,
+    wb_active: bool,
+    dispatching: bool,
+    journal_pid: Pid,
+    writeback_pid: Pid,
+    /// Measurements.
+    pub stats: KernelStats,
+    trace: Option<crate::trace::RequestTrace>,
+}
+
+impl Kernel {
+    /// Build a kernel. Called through [`crate::World::add_kernel`].
+    pub(crate) fn new(
+        id: KernelId,
+        cfg: KernelConfig,
+        device: DeviceKind,
+        sched: Box<dyn IoSched>,
+    ) -> Self {
+        let journal_pid = Pid(1);
+        let writeback_pid = Pid(2);
+        let blocks = device.capacity_blocks();
+        let fs = match cfg.fs {
+            FsChoice::Ext4 => JournaledFs::new_ext4(blocks, journal_pid, writeback_pid),
+            FsChoice::Xfs => JournaledFs::new_xfs(blocks, journal_pid, writeback_pid),
+        };
+        let cache = PageCache::new(cfg.cache);
+        let cores = cfg.cores;
+        Kernel {
+            id,
+            cfg,
+            sched,
+            device,
+            inflight: None,
+            req_meta: HashMap::new(),
+            req_ids: IdAlloc::new(),
+            fs,
+            cache,
+            procs: HashMap::new(),
+            attrs: HashMap::new(),
+            pid_alloc: 10,
+            cpu: CpuModel::new(cores),
+            dirty_waiters: VecDeque::new(),
+            wb_inflight_pages: 0,
+            wb_active: false,
+            dispatching: false,
+            journal_pid,
+            writeback_pid,
+            stats: KernelStats::default(),
+            trace: None,
+        }
+    }
+
+    // ---- public API used by World and experiments -------------------------
+
+    /// Spawn a workload process; its first step fires immediately.
+    pub fn spawn(&mut self, logic: Box<dyn ProcessLogic>, bus: &mut Bus) -> Pid {
+        let pid = self.alloc_pid();
+        self.procs.insert(
+            pid,
+            Proc {
+                logic: Some(logic),
+                state: PState::Fresh,
+                cur: None,
+                last: Outcome::None,
+                inject_target: None,
+            },
+        );
+        bus.q.schedule(bus.q.now(), Event::ProcStep { k: self.id, pid });
+        pid
+    }
+
+    /// Create a process with no logic of its own; syscalls are injected
+    /// into it (VMM host process, HDFS datanode handlers).
+    pub fn spawn_external(&mut self) -> Pid {
+        let pid = self.alloc_pid();
+        self.procs.insert(
+            pid,
+            Proc {
+                logic: None,
+                state: PState::ExternalIdle,
+                cur: None,
+                last: Outcome::None,
+                inject_target: None,
+            },
+        );
+        pid
+    }
+
+    fn alloc_pid(&mut self) -> Pid {
+        let pid = Pid(self.pid_alloc);
+        self.pid_alloc += 1;
+        pid
+    }
+
+    /// Set a process's I/O priority (the `ionice` analogue). Forwarded to
+    /// the scheduler as well.
+    pub fn set_ioprio(&mut self, pid: Pid, prio: IoPrio, bus: &mut Bus) {
+        self.attrs.entry(pid).or_default().ioprio = prio;
+        self.sched_configure(pid, SchedAttr::Prio(prio), bus);
+    }
+
+    /// Per-process default block-read deadline.
+    pub fn set_read_deadline(&mut self, pid: Pid, d: SimDuration, bus: &mut Bus) {
+        self.attrs.entry(pid).or_default().read_deadline = Some(d);
+        self.sched_configure(pid, SchedAttr::ReadDeadline(d), bus);
+    }
+
+    /// Per-process default block-write deadline.
+    pub fn set_write_deadline(&mut self, pid: Pid, d: SimDuration, bus: &mut Bus) {
+        self.attrs.entry(pid).or_default().write_deadline = Some(d);
+        self.sched_configure(pid, SchedAttr::WriteDeadline(d), bus);
+    }
+
+    /// Forward an attribute straight to the scheduler.
+    pub fn sched_configure(&mut self, pid: Pid, attr: SchedAttr, bus: &mut Bus) {
+        self.sched.configure(pid, attr);
+        // Configuration may unblock things (e.g. a raised token rate).
+        self.run_sched_maintenance(bus);
+    }
+
+    /// Create a preallocated file (fixture).
+    pub fn prealloc_file(&mut self, bytes: u64, contiguous: bool) -> FileId {
+        self.fs.prealloc_file(bytes, contiguous)
+    }
+
+    /// Track a throughput time series for `pid`'s completed reads.
+    pub fn track_read_ts(&mut self, pid: Pid, bucket: SimDuration) {
+        self.stats.read_ts.insert(pid, TimeSeries::new(bucket));
+    }
+
+    /// Track a throughput time series for `pid`'s completed writes.
+    pub fn track_write_ts(&mut self, pid: Pid, bucket: SimDuration) {
+        self.stats.write_ts.insert(pid, TimeSeries::new(bucket));
+    }
+
+    /// The page cache (assertions and experiment setup).
+    pub fn cache(&self) -> &PageCache {
+        &self.cache
+    }
+
+    /// Mutable page-cache access (dirty-ratio sweeps).
+    pub fn cache_mut(&mut self) -> &mut PageCache {
+        &mut self.cache
+    }
+
+    /// The file system.
+    pub fn fs(&self) -> &JournaledFs {
+        &self.fs
+    }
+
+    /// The scheduler.
+    pub fn sched(&self) -> &dyn IoSched {
+        self.sched.as_ref()
+    }
+
+    /// Record every dispatched request into an in-memory trace
+    /// (capacity-bounded); retrieve it with [`Kernel::trace`].
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(crate::trace::RequestTrace::with_capacity(capacity));
+    }
+
+    /// The request trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&crate::trace::RequestTrace> {
+        self.trace.as_ref()
+    }
+
+    /// The writeback daemon's pid.
+    pub fn writeback_pid(&self) -> Pid {
+        self.writeback_pid
+    }
+
+    /// The journal task's pid.
+    pub fn journal_pid(&self) -> Pid {
+        self.journal_pid
+    }
+
+    /// Arm the kernel's periodic timers; called once by the world.
+    pub(crate) fn start_timers(&mut self, bus: &mut Bus) {
+        let now = bus.q.now();
+        bus.q.schedule(self.fs.next_timer(now), Event::FsTimer { k: self.id });
+        bus.q
+            .schedule(now + self.cfg.wb_tick, Event::WritebackTick { k: self.id });
+    }
+
+    /// Begin an injected syscall on an external process.
+    pub(crate) fn inject(
+        &mut self,
+        pid: Pid,
+        kind: SyscallKind,
+        target: InjectTarget,
+        bus: &mut Bus,
+    ) {
+        {
+            let proc = self.procs.get_mut(&pid).expect("external proc exists");
+            debug_assert_eq!(proc.state, PState::ExternalIdle, "one syscall at a time");
+            proc.inject_target = Some(target);
+        }
+        self.begin_syscall(pid, kind, bus);
+    }
+
+    // ---- event handling ---------------------------------------------------
+
+    /// Route one event.
+    pub(crate) fn handle(&mut self, ev: Event, bus: &mut Bus) {
+        match ev {
+            Event::ProcStep { pid, .. } => self.proc_step(pid, bus),
+            Event::DeviceDone { req, .. } => self.device_done(req, bus),
+            Event::DispatchRetry { .. } => self.try_dispatch(bus),
+            Event::SchedTimer { .. } => {
+                self.with_sched(bus, |s, ctx| s.timer_fired(ctx));
+                self.try_dispatch(bus);
+            }
+            Event::FsTimer { .. } => {
+                let now = bus.q.now();
+                let out = self.fs.timer(&mut self.cache, now);
+                self.absorb(out, bus);
+                bus.q
+                    .schedule(self.fs.next_timer(now), Event::FsTimer { k: self.id });
+            }
+            Event::WritebackTick { .. } => {
+                if self.cfg.pdflush && self.cache.over_background() {
+                    self.kick_writeback(bus);
+                }
+                bus.q.schedule(
+                    bus.q.now() + self.cfg.wb_tick,
+                    Event::WritebackTick { k: self.id },
+                );
+            }
+            Event::AppTimer { .. } => unreachable!("app timers are handled by the world"),
+        }
+    }
+
+    /// Completion of a virtual-disk request (host syscall finished).
+    pub(crate) fn virtio_done(&mut self, req_id: RequestId, bus: &mut Bus) {
+        let Some((req, _)) = self.inflight.take() else {
+            return;
+        };
+        debug_assert_eq!(req.id, req_id);
+        self.finish_request(req, SimDuration::ZERO, bus);
+    }
+
+    // ---- process scheduling -----------------------------------------------
+
+    fn proc_step(&mut self, pid: Pid, bus: &mut Bus) {
+        let state = match self.procs.get(&pid) {
+            Some(p) => p.state,
+            None => return,
+        };
+        match state {
+            PState::Computing | PState::PostCpu => self.cpu.task_blocked(),
+            PState::Fresh | PState::Sleeping => {}
+            // A stale step for a process that moved into a wait.
+            _ => return,
+        }
+        let (action, last) = {
+            let proc = self.procs.get_mut(&pid).expect("checked");
+            let last = std::mem::replace(&mut proc.last, Outcome::None);
+            let Some(logic) = proc.logic.as_mut() else {
+                proc.state = PState::ExternalIdle;
+                return;
+            };
+            (logic.next(bus.q.now(), &last), last)
+        };
+        let _ = last;
+        match action {
+            ProcAction::Exit => {
+                self.procs.get_mut(&pid).expect("checked").state = PState::Exited;
+            }
+            ProcAction::Compute(d) => {
+                self.cpu.task_runnable();
+                let stretched = self.cpu.stretch(d);
+                self.procs.get_mut(&pid).expect("checked").state = PState::Computing;
+                bus.q
+                    .schedule(bus.q.now() + stretched, Event::ProcStep { k: self.id, pid });
+            }
+            ProcAction::Sleep(d) => {
+                self.procs.get_mut(&pid).expect("checked").state = PState::Sleeping;
+                bus.q
+                    .schedule(bus.q.now() + d, Event::ProcStep { k: self.id, pid });
+            }
+            ProcAction::Syscall(kind) => self.begin_syscall(pid, kind, bus),
+        }
+    }
+
+    fn ioprio_of(&self, pid: Pid) -> IoPrio {
+        self.attrs.get(&pid).map(|a| a.ioprio).unwrap_or_default()
+    }
+
+    fn begin_syscall(&mut self, pid: Pid, kind: SyscallKind, bus: &mut Bus) {
+        let now = bus.q.now();
+        {
+            let proc = self.procs.get_mut(&pid).expect("proc exists");
+            let gated = kind.is_write_like() || self.cfg.gate_reads;
+            proc.cur = Some(CurSyscall {
+                kind,
+                entered: now,
+                gate_since: None,
+                gated,
+                pending_io: HashSet::new(),
+            });
+        }
+        let gated = kind.is_write_like() || self.cfg.gate_reads;
+        if gated {
+            let info = SyscallInfo {
+                pid,
+                kind,
+                ioprio: self.ioprio_of(pid),
+                cached: None,
+            };
+            // Park the caller BEFORE applying the hook's commands: a
+            // scheduler may `wake(pid)` from inside `syscall_enter`
+            // (hold-then-release-immediately patterns), and that wake must
+            // find the task already parked.
+            let (gate, cmds) = {
+                let sched = self.sched.as_mut();
+                let dev = self.device.peek();
+                let mut ctx = SchedCtx::new(now, dev);
+                let gate = sched.syscall_enter(&info, &mut ctx);
+                (gate, ctx.drain())
+            };
+            if gate == Gate::Hold {
+                let proc = self.procs.get_mut(&pid).expect("proc exists");
+                proc.state = PState::GateWait;
+                proc.cur.as_mut().expect("just set").gate_since = Some(now);
+                self.apply_cmds(cmds, bus);
+                self.try_dispatch(bus);
+                return;
+            }
+            self.apply_cmds(cmds, bus);
+        }
+        self.syscall_body(pid, bus);
+    }
+
+    fn syscall_body(&mut self, pid: Pid, bus: &mut Bus) {
+        let now = bus.q.now();
+        let kind = self.procs[&pid].cur.as_ref().expect("in syscall").kind;
+        let costs = self.cfg.cpu;
+        match kind {
+            SyscallKind::Write { file, offset, len } => {
+                // Dirty throttling: Linux blocks writers over dirty_ratio.
+                if self.effective_dirty() >= self.cache.config().dirty_limit_pages() {
+                    self.procs.get_mut(&pid).expect("exists").state = PState::DirtyWait;
+                    self.dirty_waiters.push_back(pid);
+                    self.kick_writeback(bus);
+                    return;
+                }
+                let causes = CauseSet::of(pid);
+                let first = offset / PAGE_SIZE;
+                let last = (offset + len.max(1) - 1) / PAGE_SIZE;
+                for page in first..=last {
+                    let ev = self.cache.dirty_page(file, page, &causes, now);
+                    let block = self.fs.allocated_block(file, page);
+                    let bd = BufferDirtied {
+                        file,
+                        page,
+                        causes: causes.clone(),
+                        prev: ev.prev,
+                        block,
+                        new_bytes: ev.new_bytes,
+                    };
+                    self.with_sched(bus, |s, ctx| s.buffer_dirtied(&bd, ctx));
+                }
+                self.fs.note_write(file, &causes, offset, len, now);
+                if self.cfg.pdflush && self.cache.over_background() {
+                    self.kick_writeback(bus);
+                }
+                let pages = last - first + 1;
+                let cpu = costs.syscall_base
+                    + SimDuration::from_nanos(costs.per_page_copy.as_nanos() * pages);
+                self.complete_syscall(pid, Outcome::Written { bytes: len }, cpu, bus);
+            }
+            SyscallKind::Read { file, offset, len } => {
+                let first = offset / PAGE_SIZE;
+                let last = (offset + len.max(1) - 1) / PAGE_SIZE;
+                let npages = last - first + 1;
+                let misses = self.cache.read_misses(file, first, npages);
+                let cpu = costs.syscall_base
+                    + SimDuration::from_nanos(costs.per_page_copy.as_nanos() * npages);
+                if misses.is_empty() {
+                    self.complete_syscall(
+                        pid,
+                        Outcome::Read {
+                            bytes: len,
+                            all_cached: true,
+                        },
+                        cpu,
+                        bus,
+                    );
+                    return;
+                }
+                let rd = self.attrs.get(&pid).and_then(|a| a.read_deadline);
+                let mut issued = false;
+                for (page, plen) in misses {
+                    for e in self.fs.blocks_for_read(file, page, plen) {
+                        let id = RequestId(self.req_ids.next());
+                        let req = Request {
+                            id,
+                            dir: sim_device::IoDir::Read,
+                            start: e.start,
+                            nblocks: e.len,
+                            submitter: pid,
+                            causes: CauseSet::of(pid),
+                            sync: true,
+                            ioprio: self.ioprio_of(pid),
+                            deadline: rd.map(|d| now + d),
+                            submitted_at: now,
+                            file: Some(file),
+                            kind: ReqKind::Data,
+                        };
+                        self.req_meta.insert(
+                            id,
+                            ReqMeta {
+                                reader: Some(pid),
+                                fill: Some((file, e.page, e.len)),
+                                ..Default::default()
+                            },
+                        );
+                        self.procs
+                            .get_mut(&pid)
+                            .expect("exists")
+                            .cur
+                            .as_mut()
+                            .expect("in syscall")
+                            .pending_io
+                            .insert(id);
+                        issued = true;
+                        self.add_request(req, bus);
+                    }
+                }
+                if issued {
+                    self.procs.get_mut(&pid).expect("exists").state = PState::IoWait;
+                    self.try_dispatch(bus);
+                } else {
+                    // Sparse holes: zero-fill, no I/O.
+                    self.complete_syscall(
+                        pid,
+                        Outcome::Read {
+                            bytes: len,
+                            all_cached: true,
+                        },
+                        cpu,
+                        bus,
+                    );
+                }
+            }
+            SyscallKind::Fsync { file } => {
+                let out = self.fs.fsync(file, pid, &mut self.cache, now);
+                self.procs.get_mut(&pid).expect("exists").state = PState::IoWait;
+                self.absorb(out, bus);
+            }
+            SyscallKind::Create => {
+                let (fid, out) = self.fs.create_file(pid, now);
+                self.absorb(out, bus);
+                self.complete_syscall(pid, Outcome::Created(fid), costs.syscall_base, bus);
+            }
+            SyscallKind::Mkdir => {
+                let out = self.fs.mkdir(pid, now);
+                self.absorb(out, bus);
+                self.complete_syscall(pid, Outcome::MetaDone, costs.syscall_base, bus);
+            }
+            SyscallKind::Unlink { file } => {
+                let out = self.fs.unlink(file, pid, &mut self.cache, now);
+                self.absorb(out, bus);
+                self.complete_syscall(pid, Outcome::MetaDone, costs.syscall_base, bus);
+            }
+        }
+    }
+
+    fn complete_syscall(&mut self, pid: Pid, outcome: Outcome, cpu: SimDuration, bus: &mut Bus) {
+        let now = bus.q.now();
+        let (kind, entered, gate_since, gated) = {
+            let proc = self.procs.get_mut(&pid).expect("proc exists");
+            let cur = proc.cur.take().expect("syscall in flight");
+            (cur.kind, cur.entered, cur.gate_since, cur.gated)
+        };
+        // Scheduler bookkeeping runs on every gated call (SCS pays it on
+        // reads too; split schedulers only on write-like calls).
+        let cpu = if gated {
+            cpu + self.cfg.cpu.sched_bookkeeping
+        } else {
+            cpu
+        };
+        // Stats.
+        {
+            let st = self.stats.proc_mut(pid);
+            match outcome {
+                Outcome::Read { bytes, .. } => {
+                    st.reads += 1;
+                    st.read_bytes += bytes;
+                }
+                Outcome::Written { bytes } => {
+                    st.writes += 1;
+                    st.write_bytes += bytes;
+                }
+                Outcome::Synced => st.fsyncs.push((now, now.since(entered))),
+                Outcome::Created(_) | Outcome::MetaDone => st.meta_ops.push(now),
+                Outcome::None => {}
+            }
+            if let Some(g) = gate_since {
+                st.gated_time += now.since(g);
+            }
+        }
+        if let Outcome::Read { bytes, .. } = outcome {
+            if let Some(ts) = self.stats.read_ts.get_mut(&pid) {
+                ts.record(now, bytes);
+            }
+        }
+        if let Outcome::Written { bytes } = outcome {
+            if let Some(ts) = self.stats.write_ts.get_mut(&pid) {
+                ts.record(now, bytes);
+            }
+        }
+        // Exit hook.
+        let cached = match outcome {
+            Outcome::Read { all_cached, .. } => Some(all_cached),
+            _ => None,
+        };
+        let info = SyscallInfo {
+            pid,
+            kind,
+            ioprio: self.ioprio_of(pid),
+            cached,
+        };
+        self.with_sched(bus, |s, ctx| s.syscall_exit(&info, ctx));
+
+        let proc = self.procs.get_mut(&pid).expect("proc exists");
+        proc.last = outcome;
+        if let Some(target) = proc.inject_target.take() {
+            proc.state = PState::ExternalIdle;
+            match target {
+                InjectTarget::GuestVirtio { guest, req } => {
+                    bus.cross.push(CrossAction::VirtioDone { guest, req });
+                }
+                InjectTarget::App { token } => {
+                    bus.app_events.push(AppEvent::InjectedDone { token, now });
+                }
+            }
+        } else {
+            proc.state = PState::PostCpu;
+            self.cpu.task_runnable();
+            let stretched = self.cpu.stretch(cpu);
+            bus.q
+                .schedule(now + stretched, Event::ProcStep { k: self.id, pid });
+        }
+    }
+
+    // ---- block layer ------------------------------------------------------
+
+    fn add_request(&mut self, req: Request, bus: &mut Bus) {
+        if req.ioprio.class == PrioClass::BestEffort {
+            self.stats.req_prio_hist[req.ioprio.level.min(7) as usize] += 1;
+        }
+        self.with_sched(bus, |s, ctx| s.block_add(req, ctx));
+    }
+
+    fn try_dispatch(&mut self, bus: &mut Bus) {
+        if self.dispatching {
+            return;
+        }
+        self.dispatching = true;
+        loop {
+            if self.inflight.is_some() {
+                break;
+            }
+            let d = self.with_sched(bus, |s, ctx| s.block_dispatch(ctx));
+            match d {
+                Dispatch::Issue(req) => {
+                    self.stats.requests_dispatched += 1;
+                    self.stats.device_bytes += req.bytes();
+                    match &mut self.device {
+                        DeviceKind::Physical(model) => {
+                            let service = model.service_time(&req.shape());
+                            let id = req.id;
+                            self.inflight = Some((req, service));
+                            bus.q.schedule(
+                                bus.q.now() + service,
+                                Event::DeviceDone { k: self.id, req: id },
+                            );
+                        }
+                        DeviceKind::Virtual {
+                            host,
+                            host_file,
+                            host_pid,
+                            ..
+                        } => {
+                            let kind = match req.dir {
+                                sim_device::IoDir::Read => SyscallKind::Read {
+                                    file: *host_file,
+                                    offset: req.start.raw() * PAGE_SIZE,
+                                    len: req.bytes(),
+                                },
+                                sim_device::IoDir::Write => SyscallKind::Write {
+                                    file: *host_file,
+                                    offset: req.start.raw() * PAGE_SIZE,
+                                    len: req.bytes(),
+                                },
+                            };
+                            bus.cross.push(CrossAction::InjectSyscall {
+                                kernel: *host,
+                                pid: *host_pid,
+                                kind,
+                                target: InjectTarget::GuestVirtio {
+                                    guest: self.id,
+                                    req: req.id,
+                                },
+                            });
+                            self.inflight = Some((req, SimDuration::ZERO));
+                        }
+                    }
+                }
+                Dispatch::WaitUntil(t) => {
+                    // Never re-poll at the same instant: a scheduler that
+                    // answers `WaitUntil(now)` must still make time pass.
+                    let at = t.max(bus.q.now() + SimDuration::from_micros(1));
+                    bus.q.schedule(at, Event::DispatchRetry { k: self.id });
+                    break;
+                }
+                Dispatch::Idle => break,
+            }
+        }
+        self.dispatching = false;
+    }
+
+    fn device_done(&mut self, req_id: RequestId, bus: &mut Bus) {
+        let Some((req, service)) = self.inflight.take() else {
+            return;
+        };
+        debug_assert_eq!(req.id, req_id);
+        self.finish_request(req, service, bus);
+    }
+
+    fn finish_request(&mut self, req: Request, service: SimDuration, bus: &mut Bus) {
+        if let Some(trace) = self.trace.as_mut() {
+            trace.record(&req, service, bus.q.now());
+        }
+        // Charge disk time to the causes (fair-share accounting).
+        if service > SimDuration::ZERO {
+            let secs = service.as_secs_f64();
+            let causes = if req.causes.is_empty() {
+                CauseSet::of(req.submitter)
+            } else {
+                req.causes.clone()
+            };
+            for (pid, share) in causes.shares(secs) {
+                *self.stats.disk_time.entry(pid).or_insert(0.0) += share;
+            }
+        }
+        self.with_sched(bus, |s, ctx| s.block_completed(&req, ctx));
+        if let Some(meta) = self.req_meta.remove(&req.id) {
+            if meta.dirty_pages > 0 {
+                self.wb_inflight_pages = self.wb_inflight_pages.saturating_sub(meta.dirty_pages);
+            }
+            if let Some(tok) = meta.fs_token {
+                let now = bus.q.now();
+                let out = self.fs.io_completed(tok, &mut self.cache, now);
+                self.absorb(out, bus);
+            }
+            if let Some((file, page, len)) = meta.fill {
+                self.cache.fill(file, page, len);
+            }
+            if let Some(pid) = meta.reader {
+                let done = {
+                    let proc = self.procs.get_mut(&pid).expect("reader exists");
+                    if let Some(cur) = proc.cur.as_mut() {
+                        cur.pending_io.remove(&req.id);
+                        cur.pending_io.is_empty()
+                    } else {
+                        false
+                    }
+                };
+                if done {
+                    let (len, cpu) = {
+                        let cur = self.procs[&pid].cur.as_ref().expect("in syscall");
+                        let len = match cur.kind {
+                            SyscallKind::Read { len, .. } => len,
+                            _ => 0,
+                        };
+                        let pages = sim_core::pages_for_bytes(len);
+                        (
+                            len,
+                            self.cfg.cpu.syscall_base
+                                + SimDuration::from_nanos(
+                                    self.cfg.cpu.per_page_copy.as_nanos() * pages,
+                                ),
+                        )
+                    };
+                    self.complete_syscall(
+                        pid,
+                        Outcome::Read {
+                            bytes: len,
+                            all_cached: false,
+                        },
+                        cpu,
+                        bus,
+                    );
+                }
+            }
+        }
+        self.wake_dirty_waiters(bus);
+        self.cache.sample_tagmem();
+        self.try_dispatch(bus);
+    }
+
+    // ---- writeback & dirty throttling --------------------------------------
+
+    fn effective_dirty(&self) -> u64 {
+        self.cache.dirty_total() + self.wb_inflight_pages
+    }
+
+    fn kick_writeback(&mut self, bus: &mut Bus) {
+        if self.wb_active {
+            return;
+        }
+        self.wb_active = true;
+        let now = bus.q.now();
+        let out = self
+            .fs
+            .writeback(None, self.cfg.wb_batch_pages, self.writeback_pid, &mut self.cache, now);
+        self.absorb(out, bus);
+    }
+
+    /// Explicit writeback trigger (scheduler `StartWriteback` command).
+    fn scheduled_writeback(&mut self, file: Option<FileId>, max_pages: u64, bus: &mut Bus) {
+        let now = bus.q.now();
+        let out = self
+            .fs
+            .writeback(file, max_pages, self.writeback_pid, &mut self.cache, now);
+        self.absorb(out, bus);
+    }
+
+    fn wake_dirty_waiters(&mut self, bus: &mut Bus) {
+        while !self.dirty_waiters.is_empty()
+            && self.effective_dirty() < self.cache.config().dirty_limit_pages()
+        {
+            // The scheduler chooses the admission order (default: FIFO).
+            let waiters: Vec<Pid> = self.dirty_waiters.iter().copied().collect();
+            let idx = self
+                .sched
+                .pick_dirty_waiter(&waiters)
+                .min(waiters.len() - 1);
+            let pid = self.dirty_waiters.remove(idx).expect("bounded index");
+            if self
+                .procs
+                .get(&pid)
+                .map(|p| p.state == PState::DirtyWait)
+                .unwrap_or(false)
+            {
+                self.procs.get_mut(&pid).expect("exists").state = PState::IoWait;
+                self.syscall_body(pid, bus);
+            }
+        }
+    }
+
+    // ---- scheduler plumbing -------------------------------------------------
+
+    fn with_sched<R>(
+        &mut self,
+        bus: &mut Bus,
+        f: impl FnOnce(&mut dyn IoSched, &mut SchedCtx<'_>) -> R,
+    ) -> R {
+        let now = bus.q.now();
+        let (r, cmds) = {
+            let sched = self.sched.as_mut();
+            let dev = self.device.peek();
+            let mut ctx = SchedCtx::new(now, dev);
+            let r = f(sched, &mut ctx);
+            let cmds = ctx.drain();
+            (r, cmds)
+        };
+        self.apply_cmds(cmds, bus);
+        r
+    }
+
+    fn run_sched_maintenance(&mut self, bus: &mut Bus) {
+        self.with_sched(bus, |s, ctx| s.timer_fired(ctx));
+        self.try_dispatch(bus);
+    }
+
+    fn apply_cmds(&mut self, cmds: Vec<SchedCmd>, bus: &mut Bus) {
+        for cmd in cmds {
+            match cmd {
+                SchedCmd::Wake(pid) => self.gate_wake(pid, bus),
+                SchedCmd::Timer(at) => {
+                    bus.q
+                        .schedule(at.max(bus.q.now()), Event::SchedTimer { k: self.id });
+                }
+                SchedCmd::StartWriteback { file, max_pages } => {
+                    self.scheduled_writeback(file, max_pages, bus);
+                }
+                SchedCmd::KickDispatch => self.try_dispatch(bus),
+            }
+        }
+    }
+
+    fn gate_wake(&mut self, pid: Pid, bus: &mut Bus) {
+        let ok = self
+            .procs
+            .get(&pid)
+            .map(|p| p.state == PState::GateWait)
+            .unwrap_or(false);
+        if !ok {
+            return;
+        }
+        self.procs.get_mut(&pid).expect("exists").state = PState::IoWait;
+        self.syscall_body(pid, bus);
+    }
+
+    fn absorb(&mut self, out: FsOutput, bus: &mut Bus) {
+        let now = bus.q.now();
+        for (file, range) in out.freed {
+            let bf = BufferFreed {
+                file,
+                page: range.start_page,
+                causes: range.causes.clone(),
+                bytes: range.bytes(),
+            };
+            self.with_sched(bus, |s, ctx| s.buffer_freed(&bf, ctx));
+        }
+        for io in out.ios {
+            let id = RequestId(self.req_ids.next());
+            let attrs = self.attrs.get(&io.submitter).copied().unwrap_or_default();
+            let deadline = match io.dir {
+                sim_device::IoDir::Read => attrs.read_deadline.map(|d| now + d),
+                sim_device::IoDir::Write => attrs.write_deadline.map(|d| now + d),
+            };
+            let dirty_pages = if io.kind == ReqKind::Data && io.dir == sim_device::IoDir::Write {
+                io.nblocks
+            } else {
+                0
+            };
+            self.wb_inflight_pages += dirty_pages;
+            self.req_meta.insert(
+                id,
+                ReqMeta {
+                    fs_token: Some(io.token),
+                    dirty_pages,
+                    ..Default::default()
+                },
+            );
+            let req = Request {
+                id,
+                dir: io.dir,
+                start: io.start,
+                nblocks: io.nblocks,
+                submitter: io.submitter,
+                causes: io.causes,
+                sync: io.sync,
+                ioprio: attrs.ioprio,
+                deadline,
+                submitted_at: now,
+                file: io.file,
+                kind: io.kind,
+            };
+            self.add_request(req, bus);
+        }
+        for ev in out.events {
+            match ev {
+                FsEvent::FsyncDone { waiter, .. } => {
+                    let in_fsync = self
+                        .procs
+                        .get(&waiter)
+                        .and_then(|p| p.cur.as_ref())
+                        .map(|c| matches!(c.kind, SyscallKind::Fsync { .. }))
+                        .unwrap_or(false);
+                    if in_fsync {
+                        let cpu = self.cfg.cpu.syscall_base;
+                        self.complete_syscall(waiter, Outcome::Synced, cpu, bus);
+                    }
+                }
+                FsEvent::WritebackDone { .. } => {
+                    self.wb_active = false;
+                    if self.cfg.pdflush && self.cache.over_background() {
+                        self.kick_writeback(bus);
+                    }
+                }
+                FsEvent::TxnCommitted { .. } => {}
+            }
+        }
+        self.wake_dirty_waiters(bus);
+        self.try_dispatch(bus);
+    }
+}

@@ -1,0 +1,82 @@
+//! The process model: a workload is a state machine that, each time it is
+//! scheduled, returns its next action (a system call, a CPU burst, a sleep,
+//! or exit).
+
+use sim_core::{FileId, SimDuration, SimTime};
+use split_core::SyscallKind;
+
+/// What a process does next.
+#[derive(Debug, Clone, Copy)]
+pub enum ProcAction {
+    /// Issue a system call (blocks until it completes).
+    Syscall(SyscallKind),
+    /// Burn CPU for the given amount of *uncontended* time; actual wall
+    /// time is scaled by CPU contention.
+    Compute(SimDuration),
+    /// Sleep (not runnable) for the given time.
+    Sleep(SimDuration),
+    /// Terminate.
+    Exit,
+}
+
+/// What the last action produced; handed to [`ProcessLogic::next`].
+#[derive(Debug, Clone, Copy)]
+pub enum Outcome {
+    /// First scheduling, or completion of a compute/sleep.
+    None,
+    /// A read returned this many bytes.
+    Read {
+        /// Bytes delivered.
+        bytes: u64,
+        /// Whether every page came from the cache.
+        all_cached: bool,
+    },
+    /// A write was buffered.
+    Written {
+        /// Bytes accepted.
+        bytes: u64,
+    },
+    /// An fsync became durable.
+    Synced,
+    /// A creat returned the new file.
+    Created(FileId),
+    /// A mkdir/unlink finished.
+    MetaDone,
+}
+
+/// A workload: the simulator calls `next` every time the process is
+/// runnable again, passing the current time and the previous action's
+/// outcome.
+///
+/// Implementations record their own measurements (latencies, counts)
+/// internally — everything runs single-threaded, so an
+/// `Rc<RefCell<Vec<_>>>` shared with the experiment harness is the usual
+/// pattern.
+pub trait ProcessLogic {
+    /// Decide the next action.
+    fn next(&mut self, now: SimTime, last: &Outcome) -> ProcAction;
+}
+
+impl<F: FnMut(SimTime, &Outcome) -> ProcAction> ProcessLogic for F {
+    fn next(&mut self, now: SimTime, last: &Outcome) -> ProcAction {
+        self(now, last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closures_are_process_logic() {
+        let mut calls = 0;
+        let mut p = |_now: SimTime, _last: &Outcome| {
+            calls += 1;
+            ProcAction::Exit
+        };
+        let a = ProcessLogic::next(&mut p, SimTime::ZERO, &Outcome::None);
+        assert!(matches!(a, ProcAction::Exit));
+        drop(p);
+        assert_eq!(calls, 1);
+    }
+}

@@ -1,0 +1,295 @@
+//! End-to-end tests of the full stack: processes → syscalls → cache →
+//! fs → block layer → device, under the baseline block schedulers.
+
+use sim_block::{BlockDeadline, Cfq, IoPrio, Noop};
+use sim_cache::CacheConfig;
+use sim_core::{FileId, Pid, SimDuration, SimTime};
+use sim_kernel::{DeviceKind, KernelConfig, Outcome, ProcAction, World};
+use split_core::{BlockOnly, SyscallKind};
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+fn world_with(sched: Box<dyn split_core::IoSched>, device: DeviceKind) -> (World, sim_core::KernelId) {
+    let mut w = World::new();
+    let k = w.add_kernel(KernelConfig::default(), device, sched);
+    (w, k)
+}
+
+/// A sequential reader over a preallocated file, wrapping at EOF.
+fn seq_reader(file: FileId, file_bytes: u64, req: u64) -> impl FnMut(SimTime, &Outcome) -> ProcAction {
+    let mut offset = 0u64;
+    move |_now, _last| {
+        if offset + req > file_bytes {
+            offset = 0;
+        }
+        let a = ProcAction::Syscall(SyscallKind::Read {
+            file,
+            offset,
+            len: req,
+        });
+        offset += req;
+        a
+    }
+}
+
+#[test]
+fn sequential_read_reaches_device_bandwidth() {
+    let (mut w, k) = world_with(Box::new(BlockOnly::new(Noop::new())), DeviceKind::hdd());
+    let file = w.prealloc_file(k, 8 * 1024 * MB, true);
+    let pid = w.spawn(k, Box::new(seq_reader(file, 8 * 1024 * MB, 1 * MB)));
+    w.run_for(SimDuration::from_secs(2));
+    let mbps = w.kernel(k).stats.read_mbps(pid, SimDuration::from_secs(2));
+    assert!(
+        (80.0..120.0).contains(&mbps),
+        "sequential HDD read should run near 110 MB/s, got {mbps:.1}"
+    );
+}
+
+#[test]
+fn random_read_is_orders_of_magnitude_slower() {
+    let (mut w, k) = world_with(Box::new(BlockOnly::new(Noop::new())), DeviceKind::hdd());
+    let file = w.prealloc_file(k, 8 * 1024 * MB, true);
+    let mut rng = sim_core::SimRng::seed_from_u64(42);
+    let mut rand_reader = move |_now: SimTime, _l: &Outcome| {
+        let page = rng.gen_range(8 * 1024 * MB / 4096);
+        ProcAction::Syscall(SyscallKind::Read {
+            file,
+            offset: page * 4096,
+            len: 4 * KB,
+        })
+    };
+    let pid = w.spawn(k, Box::new(move |n: SimTime, l: &Outcome| rand_reader(n, l)));
+    w.run_for(SimDuration::from_secs(2));
+    let mbps = w.kernel(k).stats.read_mbps(pid, SimDuration::from_secs(2));
+    assert!(mbps < 2.0, "random 4 KB reads on HDD: got {mbps:.2} MB/s");
+    assert!(mbps > 0.1, "but the reader must make progress: {mbps:.3}");
+}
+
+#[test]
+fn cached_reads_run_at_memory_speed() {
+    let (mut w, k) = world_with(Box::new(BlockOnly::new(Noop::new())), DeviceKind::hdd());
+    // A 64 MB file fits comfortably in the 1 GB default cache.
+    let file = w.prealloc_file(k, 64 * MB, true);
+    let pid = w.spawn(k, Box::new(seq_reader(file, 64 * MB, 64 * KB)));
+    w.run_for(SimDuration::from_secs(2));
+    let mbps = w.kernel(k).stats.read_mbps(pid, SimDuration::from_secs(2));
+    // First pass reads from disk; every later pass is cache hits at
+    // CPU-copy speed (~2 GB/s with default costs).
+    assert!(mbps > 500.0, "cached rereads should be fast, got {mbps:.0}");
+}
+
+#[test]
+fn buffered_writes_absorb_at_memory_speed_until_dirty_limit() {
+    let (mut w, k) = world_with(Box::new(BlockOnly::new(Noop::new())), DeviceKind::hdd());
+    let file = w.prealloc_file(k, 4 * 1024 * MB, true);
+    let mut offset = 0u64;
+    let writer = move |_now: SimTime, _l: &Outcome| {
+        let a = ProcAction::Syscall(SyscallKind::Write {
+            file,
+            offset,
+            len: 1 * MB,
+        });
+        offset += MB;
+        a
+    };
+    let pid = w.spawn(k, Box::new(writer));
+    w.run_for(SimDuration::from_millis(200));
+    let fast = w.kernel(k).stats.proc(pid).unwrap().write_bytes;
+    // 1 GB memory, 20% dirty ratio = ~200 MB absorbed quickly (plus drain).
+    assert!(
+        fast >= 190 * MB,
+        "should absorb ~dirty_limit quickly, got {} MB",
+        fast / MB
+    );
+    w.run_for(SimDuration::from_secs(2));
+    let later = w.kernel(k).stats.proc(pid).unwrap().write_bytes;
+    // After the limit, progress is bounded by device drain (~110 MB/s).
+    let drain_mb = (later - fast) / MB;
+    assert!(
+        drain_mb < 400,
+        "post-limit progress should be disk-bound, got {drain_mb} MB in 2 s"
+    );
+    assert!(drain_mb > 50, "but writeback must drain: {drain_mb} MB");
+}
+
+#[test]
+fn fsync_is_durable_and_resumes_the_process() {
+    let (mut w, k) = world_with(
+        Box::new(BlockOnly::new(BlockDeadline::new())),
+        DeviceKind::hdd(),
+    );
+    let file = w.prealloc_file(k, 64 * MB, true);
+    let mut step = 0u64;
+    let app = move |_now: SimTime, _l: &Outcome| {
+        let a = match step % 2 {
+            0 => ProcAction::Syscall(SyscallKind::Write {
+                file,
+                offset: (step / 2) * 4 * KB,
+                len: 4 * KB,
+            }),
+            _ => ProcAction::Syscall(SyscallKind::Fsync { file }),
+        };
+        step += 1;
+        a
+    };
+    let pid = w.spawn(k, Box::new(app));
+    w.run_for(SimDuration::from_secs(2));
+    let st = w.kernel(k).stats.proc(pid).unwrap();
+    assert!(st.fsyncs.len() > 10, "got {} fsyncs", st.fsyncs.len());
+    for (_, lat) in &st.fsyncs {
+        assert!(*lat > SimDuration::ZERO);
+        assert!(*lat < SimDuration::from_secs(1), "fsync took {lat:?}");
+    }
+    // fsync on HDD costs at least a couple of writes.
+    let (_, first) = st.fsyncs[0];
+    assert!(first >= SimDuration::from_micros(100));
+}
+
+#[test]
+fn cfq_gives_higher_priority_readers_more_throughput() {
+    let (mut w, k) = world_with(Box::new(BlockOnly::new(Cfq::new())), DeviceKind::hdd());
+    let mut pids = Vec::new();
+    for level in [0u8, 7] {
+        let file = w.prealloc_file(k, 2 * 1024 * MB, true);
+        let pid = w.spawn(k, Box::new(seq_reader(file, 2 * 1024 * MB, 1 * MB)));
+        w.set_ioprio(k, pid, IoPrio::best_effort(level));
+        pids.push(pid);
+    }
+    w.run_for(SimDuration::from_secs(4));
+    let hi = w.kernel(k).stats.proc(pids[0]).unwrap().read_bytes;
+    let lo = w.kernel(k).stats.proc(pids[1]).unwrap().read_bytes;
+    assert!(
+        hi as f64 > 2.0 * lo as f64,
+        "prio 0 should far outrun prio 7: {} vs {} MB",
+        hi / MB,
+        lo / MB
+    );
+    assert!(lo > 0, "low priority must not starve completely");
+}
+
+#[test]
+fn creat_loop_commits_metadata() {
+    let (mut w, k) = world_with(
+        Box::new(BlockOnly::new(BlockDeadline::new())),
+        DeviceKind::hdd(),
+    );
+    let mut created = 0u64;
+    let mut last_file: Option<FileId> = None;
+    let app = move |_now: SimTime, last: &Outcome| {
+        if let Outcome::Created(f) = last {
+            last_file = Some(*f);
+            created += 1;
+            ProcAction::Syscall(SyscallKind::Fsync { file: *f })
+        } else {
+            ProcAction::Syscall(SyscallKind::Create)
+        }
+    };
+    let pid = w.spawn(k, Box::new(app));
+    w.run_for(SimDuration::from_secs(1));
+    let st = w.kernel(k).stats.proc(pid).unwrap();
+    assert!(st.meta_ops.len() > 5, "creats: {}", st.meta_ops.len());
+    assert!(st.fsyncs.len() > 5, "fsync-after-creat: {}", st.fsyncs.len());
+    // Journal I/O happened (fsync of metadata-only files forces commits).
+    assert!(w.kernel(k).stats.requests_dispatched > 10);
+}
+
+#[test]
+fn spin_threads_slow_io_via_cpu_contention() {
+    // An I/O-bound reader plus many spinning threads on an 8-core machine.
+    let mut results = Vec::new();
+    for spinners in [0usize, 256] {
+        let (mut w, k) = world_with(Box::new(BlockOnly::new(Noop::new())), DeviceKind::ssd());
+        let file = w.prealloc_file(k, 1024 * MB, true);
+        let pid = w.spawn(k, Box::new(seq_reader(file, 1024 * MB, 64 * KB)));
+        for _ in 0..spinners {
+            w.spawn(
+                k,
+                Box::new(|_now: SimTime, _l: &Outcome| {
+                    ProcAction::Compute(SimDuration::from_millis(1))
+                }),
+            );
+        }
+        w.run_for(SimDuration::from_secs(1));
+        results.push(w.kernel(k).stats.read_mbps(pid, SimDuration::from_secs(1)));
+    }
+    assert!(
+        results[0] > 3.0 * results[1],
+        "256 spinners should crush reader throughput: {results:?}"
+    );
+}
+
+#[test]
+fn guest_kernel_reads_through_virtual_disk() {
+    let mut w = World::new();
+    // Host: HDD + noop.
+    let host = w.add_kernel(
+        KernelConfig::default(),
+        DeviceKind::hdd(),
+        Box::new(BlockOnly::new(Noop::new())),
+    );
+    // Disk image on the host.
+    let image = w.prealloc_file(host, 2 * 1024 * MB, true);
+    let vmm_pid = w.spawn_external(host);
+    // Guest: small cache so guest reads miss, virtual device.
+    let guest = w.add_kernel(
+        KernelConfig {
+            cache: CacheConfig {
+                mem_bytes: 64 * MB,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        DeviceKind::virtio(host, image, vmm_pid),
+        Box::new(BlockOnly::new(Noop::new())),
+    );
+    let gfile = w.prealloc_file(guest, 1024 * MB, true);
+    let pid = w.spawn(guest, Box::new(seq_reader(gfile, 1024 * MB, 128 * KB)));
+    w.run_for(SimDuration::from_secs(1));
+    let guest_read = w.kernel(guest).stats.proc(pid).unwrap().read_bytes;
+    assert!(
+        guest_read > 20 * MB,
+        "guest read {} MB through the virtual disk",
+        guest_read / MB
+    );
+    // The host actually did the I/O on behalf of the VMM process.
+    let host_vmm = w.kernel(host).stats.proc(vmm_pid).unwrap();
+    assert!(host_vmm.read_bytes > 0 || host_vmm.reads > 0);
+    assert_eq!(host_vmm.reads + host_vmm.writes, host_vmm.reads, "reads only");
+}
+
+#[test]
+fn per_process_stats_track_gated_time_zero_without_gating() {
+    let (mut w, k) = world_with(Box::new(BlockOnly::new(Noop::new())), DeviceKind::ssd());
+    let file = w.prealloc_file(k, 16 * MB, true);
+    let mut offset = 0;
+    let writer = move |_n: SimTime, _l: &Outcome| {
+        let a = ProcAction::Syscall(SyscallKind::Write {
+            file,
+            offset,
+            len: 4 * KB,
+        });
+        offset = (offset + 4 * KB) % (16 * MB);
+        a
+    };
+    let pid = w.spawn(k, Box::new(writer));
+    w.run_for(SimDuration::from_millis(100));
+    let st = w.kernel(k).stats.proc(pid).unwrap();
+    assert_eq!(st.gated_time, SimDuration::ZERO);
+    assert!(st.writes > 100);
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let run = || {
+        let (mut w, k) = world_with(Box::new(BlockOnly::new(Cfq::new())), DeviceKind::hdd());
+        let file = w.prealloc_file(k, 512 * MB, false);
+        let pid = w.spawn(k, Box::new(seq_reader(file, 512 * MB, 256 * KB)));
+        w.run_for(SimDuration::from_millis(500));
+        (
+            w.kernel(k).stats.proc(pid).unwrap().read_bytes,
+            w.kernel(k).stats.requests_dispatched,
+        )
+    };
+    assert_eq!(run(), run(), "same seed, same result");
+}

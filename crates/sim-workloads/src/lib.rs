@@ -1,0 +1,585 @@
+#![warn(missing_docs)]
+//! Reusable workload processes — the A's and B's of the paper's
+//! experiments, expressed as [`ProcessLogic`] state machines.
+
+use sim_core::{FileId, SimDuration, SimRng, SimTime, PAGE_SIZE};
+use sim_kernel::{Outcome, ProcAction, ProcessLogic};
+use split_core::SyscallKind;
+
+/// Sequentially reads a file in `req` chunks, wrapping at EOF, forever.
+pub struct SeqReader {
+    file: FileId,
+    bytes: u64,
+    req: u64,
+    offset: u64,
+}
+
+impl SeqReader {
+    /// Reader over `[0, bytes)` of `file`.
+    pub fn new(file: FileId, bytes: u64, req: u64) -> Self {
+        SeqReader {
+            file,
+            bytes,
+            req: req.max(1),
+            offset: 0,
+        }
+    }
+}
+
+impl ProcessLogic for SeqReader {
+    fn next(&mut self, _now: SimTime, _last: &Outcome) -> ProcAction {
+        if self.offset + self.req > self.bytes {
+            self.offset = 0;
+        }
+        let a = ProcAction::Syscall(SyscallKind::Read {
+            file: self.file,
+            offset: self.offset,
+            len: self.req,
+        });
+        self.offset += self.req;
+        a
+    }
+}
+
+/// Reads `req` bytes at page-aligned uniformly random offsets, forever.
+pub struct RandReader {
+    file: FileId,
+    pages: u64,
+    req: u64,
+    rng: SimRng,
+}
+
+impl RandReader {
+    /// Random reader over a file of `bytes` bytes.
+    pub fn new(file: FileId, bytes: u64, req: u64, seed: u64) -> Self {
+        RandReader {
+            file,
+            pages: (bytes / PAGE_SIZE).max(1),
+            req: req.max(1),
+            rng: SimRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl ProcessLogic for RandReader {
+    fn next(&mut self, _now: SimTime, _last: &Outcome) -> ProcAction {
+        let span = sim_core::pages_for_bytes(self.req);
+        let page = self.rng.gen_range(self.pages.saturating_sub(span).max(1));
+        ProcAction::Syscall(SyscallKind::Read {
+            file: self.file,
+            offset: page * PAGE_SIZE,
+            len: self.req,
+        })
+    }
+}
+
+/// Appends to (or rewrites) a file sequentially in `req` chunks, wrapping
+/// at `bytes` so the file never outgrows its region.
+pub struct SeqWriter {
+    file: FileId,
+    bytes: u64,
+    req: u64,
+    offset: u64,
+}
+
+impl SeqWriter {
+    /// Sequential writer cycling over `[0, bytes)`.
+    pub fn new(file: FileId, bytes: u64, req: u64) -> Self {
+        SeqWriter {
+            file,
+            bytes,
+            req: req.max(1),
+            offset: 0,
+        }
+    }
+}
+
+impl ProcessLogic for SeqWriter {
+    fn next(&mut self, _now: SimTime, _last: &Outcome) -> ProcAction {
+        if self.offset + self.req > self.bytes {
+            self.offset = 0;
+        }
+        let a = ProcAction::Syscall(SyscallKind::Write {
+            file: self.file,
+            offset: self.offset,
+            len: self.req,
+        });
+        self.offset += self.req;
+        a
+    }
+}
+
+/// Writes `req` bytes at page-aligned random offsets, forever.
+pub struct RandWriter {
+    file: FileId,
+    pages: u64,
+    req: u64,
+    rng: SimRng,
+}
+
+impl RandWriter {
+    /// Random writer over a file of `bytes` bytes.
+    pub fn new(file: FileId, bytes: u64, req: u64, seed: u64) -> Self {
+        RandWriter {
+            file,
+            pages: (bytes / PAGE_SIZE).max(1),
+            req: req.max(1),
+            rng: SimRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl ProcessLogic for RandWriter {
+    fn next(&mut self, _now: SimTime, _last: &Outcome) -> ProcAction {
+        let span = sim_core::pages_for_bytes(self.req);
+        let page = self.rng.gen_range(self.pages.saturating_sub(span).max(1));
+        ProcAction::Syscall(SyscallKind::Write {
+            file: self.file,
+            offset: page * PAGE_SIZE,
+            len: self.req,
+        })
+    }
+}
+
+/// The B workload of Figures 6/13/16: repeatedly access `run` bytes
+/// sequentially, then seek to a new random offset. Reads or writes.
+pub struct RunPattern {
+    file: FileId,
+    pages: u64,
+    run: u64,
+    write: bool,
+    rng: SimRng,
+    cur_offset: u64,
+    left_in_run: u64,
+    req: u64,
+}
+
+impl RunPattern {
+    /// Run-pattern accessor: `run` bytes per run over a `bytes` file.
+    pub fn new(file: FileId, bytes: u64, run: u64, write: bool, seed: u64) -> Self {
+        RunPattern {
+            file,
+            pages: (bytes / PAGE_SIZE).max(1),
+            run: run.max(PAGE_SIZE),
+            write,
+            rng: SimRng::seed_from_u64(seed),
+            cur_offset: 0,
+            left_in_run: 0,
+            req: 64 * 1024,
+        }
+    }
+}
+
+impl ProcessLogic for RunPattern {
+    fn next(&mut self, _now: SimTime, _last: &Outcome) -> ProcAction {
+        if self.left_in_run == 0 {
+            let span = sim_core::pages_for_bytes(self.run);
+            let page = self.rng.gen_range(self.pages.saturating_sub(span).max(1));
+            self.cur_offset = page * PAGE_SIZE;
+            self.left_in_run = self.run;
+        }
+        let len = self.left_in_run.min(self.req);
+        let offset = self.cur_offset;
+        self.cur_offset += len;
+        self.left_in_run -= len;
+        let kind = if self.write {
+            SyscallKind::Write {
+                file: self.file,
+                offset,
+                len,
+            }
+        } else {
+            SyscallKind::Read {
+                file: self.file,
+                offset,
+                len,
+            }
+        };
+        ProcAction::Syscall(kind)
+    }
+}
+
+/// Appends one block and fsyncs, forever — the database-log workload (A
+/// in Figures 5 and 12).
+pub struct FsyncAppender {
+    file: FileId,
+    block: u64,
+    offset: u64,
+    think: SimDuration,
+    state: u8,
+}
+
+impl FsyncAppender {
+    /// Appender writing `block` bytes per iteration with `think` time
+    /// between iterations.
+    pub fn new(file: FileId, block: u64, think: SimDuration) -> Self {
+        FsyncAppender {
+            file,
+            block: block.max(1),
+            offset: 0,
+            think,
+            state: 0,
+        }
+    }
+}
+
+impl ProcessLogic for FsyncAppender {
+    fn next(&mut self, _now: SimTime, _last: &Outcome) -> ProcAction {
+        match self.state {
+            0 => {
+                self.state = 1;
+                let a = ProcAction::Syscall(SyscallKind::Write {
+                    file: self.file,
+                    offset: self.offset,
+                    len: self.block,
+                });
+                self.offset += self.block;
+                a
+            }
+            1 => {
+                self.state = 2;
+                ProcAction::Syscall(SyscallKind::Fsync { file: self.file })
+            }
+            _ => {
+                self.state = 0;
+                if self.think > SimDuration::ZERO {
+                    ProcAction::Sleep(self.think)
+                } else {
+                    self.next(_now, _last)
+                }
+            }
+        }
+    }
+}
+
+/// Writes `nblocks` random blocks, then fsyncs, then pauses — the
+/// checkpoint workload (B in Figures 5 and 12).
+pub struct BatchRandFsyncer {
+    file: FileId,
+    pages: u64,
+    nblocks: u64,
+    pause: SimDuration,
+    rng: SimRng,
+    written: u64,
+    state: u8,
+}
+
+impl BatchRandFsyncer {
+    /// Batch random writer: `nblocks` 4 KB blocks per batch over a file of
+    /// `bytes`, pausing `pause` between batches.
+    pub fn new(file: FileId, bytes: u64, nblocks: u64, pause: SimDuration, seed: u64) -> Self {
+        BatchRandFsyncer {
+            file,
+            pages: (bytes / PAGE_SIZE).max(1),
+            nblocks: nblocks.max(1),
+            pause,
+            rng: SimRng::seed_from_u64(seed),
+            written: 0,
+            state: 0,
+        }
+    }
+}
+
+impl ProcessLogic for BatchRandFsyncer {
+    fn next(&mut self, _now: SimTime, _last: &Outcome) -> ProcAction {
+        match self.state {
+            0 => {
+                if self.written < self.nblocks {
+                    self.written += 1;
+                    let page = self.rng.gen_range(self.pages);
+                    ProcAction::Syscall(SyscallKind::Write {
+                        file: self.file,
+                        offset: page * PAGE_SIZE,
+                        len: PAGE_SIZE,
+                    })
+                } else {
+                    self.state = 1;
+                    ProcAction::Syscall(SyscallKind::Fsync { file: self.file })
+                }
+            }
+            _ => {
+                self.state = 0;
+                self.written = 0;
+                ProcAction::Sleep(self.pause)
+            }
+        }
+    }
+}
+
+/// Sleeps until `start`, then issues random writes as fast as possible
+/// for `duration`, then exits — the one-second write burst of Figure 1.
+pub struct BurstWriter {
+    file: FileId,
+    pages: u64,
+    req: u64,
+    start: SimTime,
+    duration: SimDuration,
+    rng: SimRng,
+    started: bool,
+}
+
+impl BurstWriter {
+    /// Burst writer over a file of `bytes` bytes.
+    pub fn new(
+        file: FileId,
+        bytes: u64,
+        req: u64,
+        start: SimTime,
+        duration: SimDuration,
+        seed: u64,
+    ) -> Self {
+        BurstWriter {
+            file,
+            pages: (bytes / PAGE_SIZE).max(1),
+            req: req.max(1),
+            start,
+            duration,
+            rng: SimRng::seed_from_u64(seed),
+            started: false,
+        }
+    }
+}
+
+impl ProcessLogic for BurstWriter {
+    fn next(&mut self, now: SimTime, _last: &Outcome) -> ProcAction {
+        if !self.started {
+            self.started = true;
+            return ProcAction::Sleep(self.start.since(now));
+        }
+        if now > self.start + self.duration {
+            return ProcAction::Exit;
+        }
+        let span = sim_core::pages_for_bytes(self.req);
+        let page = self.rng.gen_range(self.pages.saturating_sub(span).max(1));
+        ProcAction::Syscall(SyscallKind::Write {
+            file: self.file,
+            offset: page * PAGE_SIZE,
+            len: self.req,
+        })
+    }
+}
+
+/// Overwrites the same region in memory forever (Figure 11d, the
+/// "write-mem" workload): pure page-cache traffic once the dirty set
+/// exists.
+pub struct MemOverwriter {
+    file: FileId,
+    region: u64,
+    req: u64,
+    offset: u64,
+}
+
+impl MemOverwriter {
+    /// Overwriter cycling over the first `region` bytes of `file`.
+    pub fn new(file: FileId, region: u64, req: u64) -> Self {
+        MemOverwriter {
+            file,
+            region: region.max(PAGE_SIZE),
+            req: req.max(1),
+            offset: 0,
+        }
+    }
+}
+
+impl ProcessLogic for MemOverwriter {
+    fn next(&mut self, _now: SimTime, _last: &Outcome) -> ProcAction {
+        if self.offset + self.req > self.region {
+            self.offset = 0;
+        }
+        let a = ProcAction::Syscall(SyscallKind::Write {
+            file: self.file,
+            offset: self.offset,
+            len: self.req,
+        });
+        self.offset += self.req;
+        a
+    }
+}
+
+/// Burns CPU forever in 1 ms slices (Figure 15's spin loop).
+pub struct Spinner;
+
+impl ProcessLogic for Spinner {
+    fn next(&mut self, _now: SimTime, _last: &Outcome) -> ProcAction {
+        ProcAction::Compute(SimDuration::from_millis(1))
+    }
+}
+
+/// Creates an empty file, fsyncs it durable, sleeps, repeats — the
+/// metadata workload of Figure 17.
+pub struct CreatFsyncLoop {
+    sleep: SimDuration,
+    state: u8,
+    last_file: Option<FileId>,
+}
+
+impl CreatFsyncLoop {
+    /// Creat+fsync loop sleeping `sleep` between files.
+    pub fn new(sleep: SimDuration) -> Self {
+        CreatFsyncLoop {
+            sleep,
+            state: 0,
+            last_file: None,
+        }
+    }
+}
+
+impl ProcessLogic for CreatFsyncLoop {
+    fn next(&mut self, _now: SimTime, last: &Outcome) -> ProcAction {
+        match self.state {
+            0 => {
+                self.state = 1;
+                ProcAction::Syscall(SyscallKind::Create)
+            }
+            1 => {
+                if let Outcome::Created(f) = last {
+                    self.last_file = Some(*f);
+                }
+                self.state = 2;
+                let f = self.last_file.expect("creat returned a file");
+                ProcAction::Syscall(SyscallKind::Fsync { file: f })
+            }
+            _ => {
+                self.state = 0;
+                if self.sleep > SimDuration::ZERO {
+                    ProcAction::Sleep(self.sleep)
+                } else {
+                    ProcAction::Syscall(SyscallKind::Create)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(p: &mut dyn ProcessLogic, steps: usize) -> Vec<ProcAction> {
+        let mut out = Vec::new();
+        let mut now = SimTime::ZERO;
+        for i in 0..steps {
+            now = SimTime::from_nanos(i as u64 * 1000);
+            out.push(p.next(now, &Outcome::None));
+        }
+        out
+    }
+
+    fn offsets_of(actions: &[ProcAction]) -> Vec<u64> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                ProcAction::Syscall(SyscallKind::Read { offset, .. })
+                | ProcAction::Syscall(SyscallKind::Write { offset, .. }) => Some(*offset),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn seq_reader_walks_and_wraps() {
+        let mut r = SeqReader::new(FileId(1), 4096 * 4, 4096);
+        let offs = offsets_of(&drive(&mut r, 6));
+        assert_eq!(offs, vec![0, 4096, 8192, 12288, 0, 4096]);
+    }
+
+    #[test]
+    fn rand_writer_is_page_aligned_and_in_bounds() {
+        let mut w = RandWriter::new(FileId(1), 1 << 20, 4096, 7);
+        for off in offsets_of(&drive(&mut w, 100)) {
+            assert_eq!(off % 4096, 0);
+            assert!(off < 1 << 20);
+        }
+    }
+
+    #[test]
+    fn run_pattern_alternates_runs_and_seeks() {
+        let mut b = RunPattern::new(FileId(1), 1 << 30, 256 * 1024, false, 3);
+        let offs = offsets_of(&drive(&mut b, 8));
+        // Within a run, offsets are contiguous in 64 KB steps.
+        assert_eq!(offs[1], offs[0] + 65536);
+        assert_eq!(offs[2], offs[1] + 65536);
+        assert_eq!(offs[3], offs[2] + 65536);
+        // After 4 × 64 KB = 256 KB, a new random run starts.
+        assert_ne!(offs[4], offs[3] + 65536);
+    }
+
+    #[test]
+    fn fsync_appender_cycles_write_fsync() {
+        let mut a = FsyncAppender::new(FileId(2), 4096, SimDuration::ZERO);
+        let acts = drive(&mut a, 4);
+        assert!(matches!(
+            acts[0],
+            ProcAction::Syscall(SyscallKind::Write { offset: 0, .. })
+        ));
+        assert!(matches!(
+            acts[1],
+            ProcAction::Syscall(SyscallKind::Fsync { .. })
+        ));
+        assert!(matches!(
+            acts[2],
+            ProcAction::Syscall(SyscallKind::Write { offset: 4096, .. })
+        ));
+    }
+
+    #[test]
+    fn batch_fsyncer_writes_n_then_syncs() {
+        let mut b = BatchRandFsyncer::new(FileId(3), 1 << 20, 3, SimDuration::from_millis(1), 5);
+        let acts = drive(&mut b, 5);
+        assert!(acts[..3]
+            .iter()
+            .all(|a| matches!(a, ProcAction::Syscall(SyscallKind::Write { .. }))));
+        assert!(matches!(
+            acts[3],
+            ProcAction::Syscall(SyscallKind::Fsync { .. })
+        ));
+        assert!(matches!(acts[4], ProcAction::Sleep(_)));
+    }
+
+    #[test]
+    fn burst_writer_sleeps_then_bursts_then_exits() {
+        let start = SimTime::from_nanos(1_000_000_000);
+        let mut b = BurstWriter::new(
+            FileId(1),
+            1 << 30,
+            65536,
+            start,
+            SimDuration::from_secs(1),
+            9,
+        );
+        assert!(matches!(
+            b.next(SimTime::ZERO, &Outcome::None),
+            ProcAction::Sleep(_)
+        ));
+        assert!(matches!(
+            b.next(start, &Outcome::None),
+            ProcAction::Syscall(SyscallKind::Write { .. })
+        ));
+        assert!(matches!(
+            b.next(SimTime::from_nanos(3_000_000_000), &Outcome::None),
+            ProcAction::Exit
+        ));
+    }
+
+    #[test]
+    fn creat_loop_uses_the_created_file() {
+        let mut c = CreatFsyncLoop::new(SimDuration::from_millis(1));
+        assert!(matches!(
+            c.next(SimTime::ZERO, &Outcome::None),
+            ProcAction::Syscall(SyscallKind::Create)
+        ));
+        let a = c.next(SimTime::ZERO, &Outcome::Created(FileId(42)));
+        match a {
+            ProcAction::Syscall(SyscallKind::Fsync { file }) => assert_eq!(file, FileId(42)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn mem_overwriter_stays_in_region() {
+        let mut m = MemOverwriter::new(FileId(1), 8 * 4096, 4096);
+        for off in offsets_of(&drive(&mut m, 20)) {
+            assert!(off < 8 * 4096);
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Cost estimation (§3.2).
+//!
+//! Two models, mirroring Split-Token's two-phase accounting:
+//!
+//! * [`PrelimWriteModel`] — the *memory-level* guess made the moment a
+//!   buffer is dirtied, before allocation: randomness is inferred from file
+//!   offsets only.
+//! * [`SeekCostModel`] — the *block-level* model applied when requests are
+//!   dispatched with real disk locations; also AFQ's "simple seek model"
+//!   for charging processes for disk time.
+//!
+//! Costs are expressed as [`NormalizedCost`]: the number of
+//! sequential-equivalent bytes the operation is worth on the device (1 MB
+//! of random 4 KB I/O on a disk normalizes to far more than 1 MB).
+
+use std::collections::HashMap;
+
+use sim_core::{BlockNo, FileId, SimDuration};
+use sim_device::{DiskModel, DiskRequestShape};
+
+/// A cost in sequential-equivalent bytes.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct NormalizedCost(pub f64);
+
+impl NormalizedCost {
+    /// Zero cost.
+    pub const ZERO: NormalizedCost = NormalizedCost(0.0);
+
+    /// From a device service time, normalized by the device's sequential
+    /// bandwidth.
+    pub fn from_time(t: SimDuration, seq_bandwidth: f64) -> Self {
+        NormalizedCost(t.as_secs_f64() * seq_bandwidth)
+    }
+
+    /// Plain bytes (already sequential).
+    pub fn from_bytes(b: u64) -> Self {
+        NormalizedCost(b as f64)
+    }
+
+    /// The raw value.
+    pub fn bytes(self) -> f64 {
+        self.0
+    }
+}
+
+impl std::ops::Add for NormalizedCost {
+    type Output = NormalizedCost;
+    fn add(self, o: NormalizedCost) -> NormalizedCost {
+        NormalizedCost(self.0 + o.0)
+    }
+}
+
+impl std::ops::Sub for NormalizedCost {
+    type Output = NormalizedCost;
+    fn sub(self, o: NormalizedCost) -> NormalizedCost {
+        NormalizedCost(self.0 - o.0)
+    }
+}
+
+/// Block-level cost model: charges a dispatched request its true device
+/// time (peeked from the device model before dispatch), normalized to
+/// sequential-equivalent bytes.
+#[derive(Debug, Default)]
+pub struct SeekCostModel {
+    last_end: Option<BlockNo>,
+}
+
+impl SeekCostModel {
+    /// Fresh model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cost of dispatching `shape` next, according to `dev`'s current
+    /// state. Advances the model's notion of the head.
+    pub fn charge(&mut self, dev: &dyn DiskModel, shape: &DiskRequestShape) -> NormalizedCost {
+        self.last_end = Some(shape.end());
+        NormalizedCost::from_time(dev.peek_service_time(shape), dev.seq_bandwidth())
+    }
+
+    /// Whether `shape` continues the previous dispatch (sequential).
+    pub fn is_sequential(&self, shape: &DiskRequestShape) -> bool {
+        self.last_end == Some(shape.start)
+    }
+}
+
+/// Memory-level preliminary write-cost model. Tracks the last written
+/// offset per file; a write that does not continue the previous one is
+/// presumed random and charged a seek-equivalent surcharge. Delayed
+/// allocation means this is only a guess — the block-level model revises
+/// it later (§3.2, Figure 8).
+#[derive(Debug)]
+pub struct PrelimWriteModel {
+    last_offset: HashMap<FileId, u64>,
+    /// Surcharge for a presumed-random write, in sequential-equivalent
+    /// bytes (≈ seek time × bandwidth).
+    seek_equiv_bytes: f64,
+}
+
+impl PrelimWriteModel {
+    /// Model with a seek-equivalence derived from the device: an average
+    /// seek (~8 ms on disk) times sequential bandwidth.
+    pub fn for_device(dev: &dyn DiskModel) -> Self {
+        let seek_secs = if dev.is_rotational() { 0.008 } else { 0.0001 };
+        PrelimWriteModel {
+            last_offset: HashMap::new(),
+            seek_equiv_bytes: seek_secs * dev.seq_bandwidth(),
+        }
+    }
+
+    /// Model with an explicit surcharge.
+    pub fn with_seek_equiv(seek_equiv_bytes: f64) -> Self {
+        PrelimWriteModel {
+            last_offset: HashMap::new(),
+            seek_equiv_bytes,
+        }
+    }
+
+    /// Estimate the cost of `len` bytes written to `file` at `offset`,
+    /// updating per-file state.
+    pub fn estimate(&mut self, file: FileId, offset: u64, len: u64) -> NormalizedCost {
+        let sequential = self.last_offset.get(&file) == Some(&offset);
+        self.last_offset.insert(file, offset + len);
+        if sequential {
+            NormalizedCost::from_bytes(len)
+        } else {
+            NormalizedCost(len as f64 + self.seek_equiv_bytes)
+        }
+    }
+
+    /// Forget a file (closed / deleted).
+    pub fn forget(&mut self, file: FileId) {
+        self.last_offset.remove(&file);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::BlockNo;
+    use sim_device::{HddModel, IoDir, SsdModel};
+
+    #[test]
+    fn normalized_cost_from_time() {
+        let c = NormalizedCost::from_time(SimDuration::from_millis(10), 100.0e6);
+        assert!((c.bytes() - 1.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn seek_model_charges_random_more_than_sequential() {
+        let mut dev = HddModel::new();
+        // Position the head.
+        dev.service_time(&DiskRequestShape::new(IoDir::Write, BlockNo(0), 1));
+        let mut m = SeekCostModel::new();
+        let seq = m.charge(&dev, &DiskRequestShape::new(IoDir::Write, BlockNo(1), 1));
+        let rand = m.charge(
+            &dev,
+            &DiskRequestShape::new(IoDir::Write, BlockNo(60_000_000), 1),
+        );
+        assert!(rand.bytes() > 20.0 * seq.bytes());
+    }
+
+    #[test]
+    fn seek_model_tracks_sequentiality() {
+        let mut m = SeekCostModel::new();
+        let dev = HddModel::new();
+        let a = DiskRequestShape::new(IoDir::Write, BlockNo(10), 4);
+        m.charge(&dev, &a);
+        assert!(m.is_sequential(&DiskRequestShape::new(IoDir::Write, BlockNo(14), 4)));
+        assert!(!m.is_sequential(&DiskRequestShape::new(IoDir::Write, BlockNo(99), 4)));
+    }
+
+    #[test]
+    fn prelim_model_charges_random_offsets() {
+        let mut m = PrelimWriteModel::with_seek_equiv(800_000.0);
+        let f = FileId(1);
+        // First write to a file: no history, presumed random.
+        let first = m.estimate(f, 0, 4096);
+        assert!(first.bytes() > 4096.0);
+        // Continuation: sequential, charged plain bytes.
+        let second = m.estimate(f, 4096, 4096);
+        assert!((second.bytes() - 4096.0).abs() < 1e-9);
+        // Jump: random again.
+        let third = m.estimate(f, 1_000_000, 4096);
+        assert!(third.bytes() > 700_000.0);
+    }
+
+    #[test]
+    fn prelim_model_is_cheaper_on_flash() {
+        let hdd = PrelimWriteModel::for_device(&HddModel::new());
+        let ssd = PrelimWriteModel::for_device(&SsdModel::new());
+        assert!(hdd.seek_equiv_bytes > 10.0 * ssd.seek_equiv_bytes);
+    }
+
+    #[test]
+    fn prelim_model_forget_resets_history() {
+        let mut m = PrelimWriteModel::with_seek_equiv(1000.0);
+        let f = FileId(2);
+        m.estimate(f, 0, 4096);
+        m.forget(f);
+        // After forgetting, even a perfect continuation looks random.
+        let c = m.estimate(f, 4096, 4096);
+        assert!(c.bytes() > 4096.0);
+    }
+}

@@ -1,0 +1,339 @@
+//! The hook interface between the kernel and a split scheduler.
+
+use sim_core::{BlockNo, CauseSet, FileId, Pid, SimDuration, SimTime};
+use sim_block::{Dispatch, IoPrio, Request};
+use sim_device::DiskModel;
+
+/// Identifies an I/O-related system call as seen by the syscall-level
+/// hooks. Reads are *not* gated at entry (the paper schedules reads below
+/// the cache, §4.2) but are still reported to `syscall_exit` for
+/// accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyscallKind {
+    /// `read(file, offset, len)`.
+    Read {
+        /// Target file.
+        file: FileId,
+        /// Byte offset.
+        offset: u64,
+        /// Byte count.
+        len: u64,
+    },
+    /// `write(file, offset, len)`.
+    Write {
+        /// Target file.
+        file: FileId,
+        /// Byte offset.
+        offset: u64,
+        /// Byte count.
+        len: u64,
+    },
+    /// `fsync(file)`.
+    Fsync {
+        /// Target file.
+        file: FileId,
+    },
+    /// `creat(path)` — a metadata write.
+    Create,
+    /// `mkdir(path)` — a metadata write.
+    Mkdir,
+    /// `unlink(path)` — a metadata write (listed as future work in §4.2;
+    /// implemented here).
+    Unlink {
+        /// The file being removed.
+        file: FileId,
+    },
+}
+
+impl SyscallKind {
+    /// Whether this call mutates state (write, fsync or metadata ops).
+    pub fn is_write_like(&self) -> bool {
+        !matches!(self, SyscallKind::Read { .. })
+    }
+
+    /// Short name for stats and traces.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SyscallKind::Read { .. } => "read",
+            SyscallKind::Write { .. } => "write",
+            SyscallKind::Fsync { .. } => "fsync",
+            SyscallKind::Create => "creat",
+            SyscallKind::Mkdir => "mkdir",
+            SyscallKind::Unlink { .. } => "unlink",
+        }
+    }
+}
+
+/// A system call arriving at the scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct SyscallInfo {
+    /// Calling process.
+    pub pid: Pid,
+    /// Which call, with arguments.
+    pub kind: SyscallKind,
+    /// The caller's I/O priority.
+    pub ioprio: IoPrio,
+    /// At `syscall_exit` of a read: whether every page came from the page
+    /// cache. The SCS framework needed a file-system modification to learn
+    /// this (§5.3); the split framework does not use it (reads are
+    /// scheduled below the cache), but exposes it for the SCS baseline.
+    pub cached: Option<bool>,
+}
+
+/// Verdict of `syscall_enter`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gate {
+    /// Let the call run now.
+    Proceed,
+    /// Park the caller; the scheduler will `wake(pid)` it later.
+    Hold,
+}
+
+/// Memory-level notification: a buffer was dirtied, or a dirty buffer was
+/// re-dirtied (§4.2, "buffer-dirty hook").
+#[derive(Debug, Clone)]
+pub struct BufferDirtied {
+    /// File owning the page.
+    pub file: FileId,
+    /// Page index within the file.
+    pub page: u64,
+    /// The causes now responsible (after this write).
+    pub causes: CauseSet,
+    /// For an overwrite of an already-dirty buffer: who was responsible
+    /// before. The scheduler may shift accounting to the last writer.
+    pub prev: Option<CauseSet>,
+    /// On-disk location if already allocated; `None` under delayed
+    /// allocation — the reason memory-level cost estimates are guesses.
+    pub block: Option<BlockNo>,
+    /// Bytes newly dirtied by this event (0 for a pure overwrite).
+    pub new_bytes: u64,
+}
+
+/// Memory-level notification: a buffer left the cache before writeback
+/// ("buffer-free hook") — the write work evaporated.
+#[derive(Debug, Clone)]
+pub struct BufferFreed {
+    /// File owning the page.
+    pub file: FileId,
+    /// Page index within the file.
+    pub page: u64,
+    /// Who had been responsible.
+    pub causes: CauseSet,
+    /// Bytes whose writeback was avoided.
+    pub bytes: u64,
+}
+
+/// Per-process scheduling attributes, set via the kernel's
+/// `sched_configure` API (the simulator's analogue of `ionice` and the
+/// paper's per-process deadline / token settings).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedAttr {
+    /// I/O priority (CFQ, AFQ).
+    Prio(IoPrio),
+    /// Deadline for this process's fsyncs (Split-Deadline).
+    FsyncDeadline(SimDuration),
+    /// Deadline for this process's block reads.
+    ReadDeadline(SimDuration),
+    /// Deadline for this process's block writes (Block-Deadline only).
+    WriteDeadline(SimDuration),
+    /// Throttle to this many normalized bytes per second (token schedulers).
+    TokenRate(u64),
+    /// Cap on accumulated tokens, in bytes.
+    TokenCap(u64),
+    /// Join a shared token bucket (VM instances, HDFS accounts, thread
+    /// groups share one limit).
+    TokenGroup(u32),
+    /// Remove any throttle.
+    Unthrottled,
+}
+
+/// Commands a scheduler queues during a hook invocation; the kernel
+/// applies them after the hook returns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedCmd {
+    /// Unpark a task previously held at `syscall_enter`.
+    Wake(Pid),
+    /// Call `timer_fired` at (or after) the given instant.
+    Timer(SimTime),
+    /// Ask the kernel to start asynchronous writeback: of one file's dirty
+    /// pages, or (with `file: None`) of the oldest dirty data in general.
+    /// Asynchronous writeback creates no synchronization point (§5.2).
+    StartWriteback {
+        /// Specific file, or any.
+        file: Option<FileId>,
+        /// Upper bound on pages to flush.
+        max_pages: u64,
+    },
+    /// Re-run the block dispatch loop (e.g. after internal state changed
+    /// in a way that may unblock dispatch).
+    KickDispatch,
+}
+
+/// Context handed to every hook: the current time, a read-only view of the
+/// device model for cost peeking, and a command buffer.
+pub struct SchedCtx<'a> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// The device servicing this kernel's block layer; peek-only.
+    pub device: &'a dyn DiskModel,
+    commands: Vec<SchedCmd>,
+}
+
+impl<'a> SchedCtx<'a> {
+    /// Build a context (called by the kernel before invoking a hook).
+    pub fn new(now: SimTime, device: &'a dyn DiskModel) -> Self {
+        SchedCtx {
+            now,
+            device,
+            commands: Vec::new(),
+        }
+    }
+
+    /// Unpark a held task.
+    pub fn wake(&mut self, pid: Pid) {
+        self.commands.push(SchedCmd::Wake(pid));
+    }
+
+    /// Arm a timer.
+    pub fn set_timer(&mut self, at: SimTime) {
+        self.commands.push(SchedCmd::Timer(at));
+    }
+
+    /// Kick asynchronous writeback.
+    pub fn start_writeback(&mut self, file: Option<FileId>, max_pages: u64) {
+        self.commands.push(SchedCmd::StartWriteback { file, max_pages });
+    }
+
+    /// Re-poll block dispatch.
+    pub fn kick_dispatch(&mut self) {
+        self.commands.push(SchedCmd::KickDispatch);
+    }
+
+    /// Take the queued commands (kernel side).
+    pub fn drain(&mut self) -> Vec<SchedCmd> {
+        std::mem::take(&mut self.commands)
+    }
+
+    /// Whether any command is pending (test helper).
+    pub fn has_commands(&self) -> bool {
+        !self.commands.is_empty()
+    }
+}
+
+/// A complete I/O scheduler in the split framework.
+///
+/// Every method has a default no-op implementation, so a scheduler
+/// implements exactly the levels it cares about — a block-only scheduler
+/// overrides the block hooks, SCS overrides the syscall hooks, and a true
+/// split scheduler uses all three (§3).
+pub trait IoSched {
+    /// Scheduler name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Set a per-process attribute. Unsupported attributes are ignored.
+    fn configure(&mut self, pid: Pid, attr: SchedAttr) {
+        let _ = (pid, attr);
+    }
+
+    /// A gated system call is entering (write/fsync/creat/mkdir/unlink —
+    /// reads are not gated, see module docs). Return [`Gate::Hold`] to park
+    /// the caller until a later `ctx.wake(pid)`.
+    fn syscall_enter(&mut self, sc: &SyscallInfo, ctx: &mut SchedCtx<'_>) -> Gate {
+        let _ = (sc, ctx);
+        Gate::Proceed
+    }
+
+    /// A system call finished executing (all kinds, including reads).
+    fn syscall_exit(&mut self, sc: &SyscallInfo, ctx: &mut SchedCtx<'_>) {
+        let _ = (sc, ctx);
+    }
+
+    /// Memory level: a buffer was dirtied or re-dirtied.
+    fn buffer_dirtied(&mut self, ev: &BufferDirtied, ctx: &mut SchedCtx<'_>) {
+        let _ = (ev, ctx);
+    }
+
+    /// Memory level: a dirty buffer was dropped before writeback.
+    fn buffer_freed(&mut self, ev: &BufferFreed, ctx: &mut SchedCtx<'_>) {
+        let _ = (ev, ctx);
+    }
+
+    /// Block level: a request entered the block layer. The scheduler owns
+    /// the queue; it must hold the request until a `block_dispatch` returns
+    /// it.
+    fn block_add(&mut self, req: Request, ctx: &mut SchedCtx<'_>);
+
+    /// Block level: the device is idle; pick the next request.
+    fn block_dispatch(&mut self, ctx: &mut SchedCtx<'_>) -> Dispatch;
+
+    /// Block level: a request completed at the device.
+    fn block_completed(&mut self, req: &Request, ctx: &mut SchedCtx<'_>) {
+        let _ = (req, ctx);
+    }
+
+    /// A timer armed via `ctx.set_timer` fired.
+    fn timer_fired(&mut self, ctx: &mut SchedCtx<'_>) {
+        let _ = ctx;
+    }
+
+    /// The kernel is about to admit one writer blocked on the dirty
+    /// threshold; return the index of the waiter to wake. The default is
+    /// FIFO (Linux's behaviour). Split schedulers use this to make the
+    /// write-buffer admission order follow their policy — controlling
+    /// "when writes become visible to the file system" (§3.3).
+    fn pick_dirty_waiter(&mut self, waiters: &[Pid]) -> usize {
+        let _ = waiters;
+        0
+    }
+
+    /// Requests currently held at the block level.
+    fn queued(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_device::HddModel;
+
+    #[test]
+    fn ctx_collects_commands_in_order() {
+        let dev = HddModel::new();
+        let mut ctx = SchedCtx::new(SimTime::ZERO, &dev);
+        ctx.wake(Pid(3));
+        ctx.set_timer(SimTime::from_nanos(10));
+        ctx.start_writeback(Some(FileId(7)), 128);
+        ctx.kick_dispatch();
+        assert!(ctx.has_commands());
+        let cmds = ctx.drain();
+        assert_eq!(cmds.len(), 4);
+        assert_eq!(cmds[0], SchedCmd::Wake(Pid(3)));
+        assert_eq!(cmds[1], SchedCmd::Timer(SimTime::from_nanos(10)));
+        assert_eq!(
+            cmds[2],
+            SchedCmd::StartWriteback {
+                file: Some(FileId(7)),
+                max_pages: 128
+            }
+        );
+        assert_eq!(cmds[3], SchedCmd::KickDispatch);
+        assert!(!ctx.has_commands());
+    }
+
+    #[test]
+    fn syscall_kind_classification() {
+        let w = SyscallKind::Write {
+            file: FileId(1),
+            offset: 0,
+            len: 4096,
+        };
+        let r = SyscallKind::Read {
+            file: FileId(1),
+            offset: 0,
+            len: 4096,
+        };
+        assert!(w.is_write_like());
+        assert!(!r.is_write_like());
+        assert!(SyscallKind::Create.is_write_like());
+        assert_eq!(SyscallKind::Mkdir.name(), "mkdir");
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+//! The split-level scheduling framework — the paper's primary
+//! contribution (§3, §4).
+//!
+//! A split scheduler is one object implementing [`IoSched`], with hooks at
+//! three layers of the storage stack (Table 2 of the paper):
+//!
+//! | Level | Hooks | Origin |
+//! |---|---|---|
+//! | system call | `syscall_enter` / `syscall_exit` for `write`, `fsync`, `creat`, `mkdir`, `unlink` | SCS |
+//! | memory | `buffer_dirtied` / `buffer_freed` | **new** |
+//! | block | `block_add` / `block_dispatch` / `block_completed` | block |
+//!
+//! The kernel invokes the hooks; the scheduler responds either by returning
+//! a value (gating a syscall, issuing a request) or by queuing commands on
+//! the [`SchedCtx`] (waking a parked task, arming a timer, kicking
+//! writeback). Cross-layer *cause tags* ([`CauseSet`], re-exported from
+//! `sim-core`) flow from the dirtying syscall through the page cache and
+//! the file system's proxy tasks down to block requests, so a scheduler at
+//! any layer can map I/O back to the processes responsible.
+//!
+//! Classic single-level schedulers plug into the same interface through
+//! [`adapter::BlockOnly`], which is how the baselines run in the
+//! experiments.
+
+pub mod adapter;
+pub mod cost;
+pub mod hooks;
+pub mod proxy;
+
+pub use adapter::BlockOnly;
+pub use cost::{NormalizedCost, PrelimWriteModel, SeekCostModel};
+pub use hooks::{
+    BufferDirtied, BufferFreed, Gate, IoSched, SchedAttr, SchedCmd, SchedCtx, SyscallInfo,
+    SyscallKind,
+};
+pub use proxy::ProxyRegistry;
+
+// The tag type itself; defined in sim-core so the block layer can carry it,
+// re-exported here because it is conceptually part of the framework.
+pub use sim_core::CauseSet;

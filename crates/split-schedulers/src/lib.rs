@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! The schedulers built on the split framework (§5 of the paper), plus the
+//! SCS-Token baseline:
+//!
+//! * [`Afq`] — Actually Fair Queuing: stride scheduling at the syscall and
+//!   block levels with cause-tag accounting (§5.1).
+//! * [`SplitDeadline`] — fsync deadlines at the syscall level, read
+//!   deadlines at the block level, with dirty-cost estimation and
+//!   asynchronous-writeback spreading (§5.2).
+//! * [`SplitToken`] — token buckets with prompt memory-level charging and
+//!   block-level revision (§5.3).
+//! * [`ScsToken`] — the system-call-scheduling baseline of Craciunas et
+//!   al., which charges raw bytes at the syscall layer (§2.3.3).
+
+pub mod afq;
+pub mod scs_token;
+pub mod split_deadline;
+pub mod split_noop;
+pub mod split_token;
+pub mod stride;
+pub mod tokens;
+
+pub use afq::Afq;
+pub use scs_token::ScsToken;
+pub use split_deadline::{SplitDeadline, SplitDeadlineConfig};
+pub use split_noop::SplitNoop;
+pub use split_token::{SplitToken, SplitTokenConfig};
+pub use stride::StrideSet;
+pub use tokens::{BucketId, TokenBuckets};

@@ -1,0 +1,76 @@
+#![warn(missing_docs)]
+//! # split-level-io
+//!
+//! A reproduction of *Split-Level I/O Scheduling* (Yang et al., SOSP
+//! 2015) as a deterministic storage-stack simulator plus the paper's
+//! scheduling framework and schedulers.
+//!
+//! The paper's contribution is a set of scheduling hooks at three layers
+//! of the storage stack — system call, page cache, and block — together
+//! with cross-layer *cause tags* that let a scheduler at any layer map
+//! I/O back to the processes responsible for it. Since the original is a
+//! Linux kernel patch, this crate reproduces the entire surrounding
+//! stack in simulation: device models, block layer with pluggable
+//! elevators (CFQ, deadline, noop), a tagged page cache with writeback,
+//! journaling file systems (ext4-like, XFS-like), a syscall layer with
+//! process and CPU models, the split framework, and the paper's three
+//! schedulers (AFQ, Split-Deadline, Split-Token) plus the SCS-Token
+//! baseline.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use split_level_io::prelude::*;
+//!
+//! // A machine: HDD, ext4, Split-Token scheduling.
+//! let mut world = World::new();
+//! let kernel = world.add_kernel(
+//!     KernelConfig::default(),
+//!     DeviceKind::hdd(),
+//!     Box::new(SplitToken::new()),
+//! );
+//!
+//! // An unthrottled sequential reader and a throttled random writer.
+//! let big = world.prealloc_file(kernel, 1 << 30, true);
+//! let reader = world.spawn(kernel, Box::new(SeqReader::new(big, 1 << 30, 1 << 20)));
+//! let scratch = world.prealloc_file(kernel, 1 << 30, false);
+//! let writer = world.spawn(kernel, Box::new(RandWriter::new(scratch, 1 << 30, 4096, 7)));
+//! world.configure(kernel, writer, SchedAttr::TokenRate(1 << 20)); // 1 MB/s
+//!
+//! world.run_for(SimDuration::from_secs(2));
+//! let a = world.kernel(kernel).stats.read_mbps(reader, SimDuration::from_secs(2));
+//! assert!(a > 50.0, "the reader is protected: {a:.0} MB/s");
+//! ```
+//!
+//! See `examples/` for complete scenarios and `crates/sim-experiments`
+//! for the figure-by-figure reproduction of the paper's evaluation.
+
+pub use sim_apps as apps;
+pub use sim_block as block;
+pub use sim_cache as cache;
+pub use sim_core as core;
+pub use sim_device as device;
+pub use sim_experiments as experiments;
+pub use sim_fs as fs;
+pub use sim_kernel as kernel;
+pub use sim_workloads as workloads;
+pub use split_core as framework;
+pub use split_schedulers as schedulers;
+
+/// The most common imports for building simulations.
+pub mod prelude {
+    pub use sim_block::{BlockDeadline, Cfq, IoPrio, Noop, PrioClass};
+    pub use sim_core::{
+        CauseSet, FileId, KernelId, Pid, SimDuration, SimTime, PAGE_SIZE,
+    };
+    pub use sim_device::{DiskModel, HddModel, SsdModel};
+    pub use sim_kernel::{
+        DeviceKind, FsChoice, KernelConfig, Outcome, ProcAction, ProcessLogic, World,
+    };
+    pub use sim_workloads::{
+        BatchRandFsyncer, BurstWriter, CreatFsyncLoop, FsyncAppender, MemOverwriter, RandReader,
+        RandWriter, RunPattern, SeqReader, SeqWriter, Spinner,
+    };
+    pub use split_core::{BlockOnly, Gate, IoSched, SchedAttr, SyscallKind};
+    pub use split_schedulers::{Afq, ScsToken, SplitDeadline, SplitNoop, SplitToken};
+}
