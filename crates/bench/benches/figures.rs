@@ -1,4 +1,4 @@
-//! Criterion benchmarks: one target per table/figure of the paper.
+//! Wall-clock benchmarks: one target per table/figure of the paper.
 //!
 //! Each benchmark runs a reduced-duration configuration of the
 //! corresponding experiment end-to-end (the full stack: processes,
@@ -7,273 +7,239 @@
 //! performance. Figure 9's benchmark is the paper's actual question —
 //! the wall-clock cost of the split framework's hooks relative to the
 //! block framework.
+//!
+//! The harness is hand-rolled (the container has no registry access, so
+//! no criterion): each target runs a warmup pass then `SAMPLES` timed
+//! iterations and reports min/mean/max. Filter targets by substring:
+//! `cargo bench -- fig09`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sim_core::SimDuration;
 use sim_experiments as exp;
+use std::time::Instant;
+
+const SAMPLES: usize = 5;
 
 fn short(secs: u64) -> SimDuration {
     SimDuration::from_secs(secs)
 }
 
-fn fig01_write_burst(c: &mut Criterion) {
-    let cfg = exp::fig01_write_burst::Config {
-        duration: short(8),
-        ..exp::fig01_write_burst::Config::quick()
-    };
-    c.bench_function("fig01_write_burst", |b| {
-        b.iter(|| exp::fig01_write_burst::run(&cfg))
-    });
+fn bench(name: &str, filter: Option<&str>, mut f: impl FnMut()) {
+    if let Some(pat) = filter {
+        if !name.contains(pat) {
+            return;
+        }
+    }
+    f(); // warmup
+    let mut times = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        f();
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    let min = times.iter().cloned().fold(f64::MAX, f64::min);
+    let max = times.iter().cloned().fold(f64::MIN, f64::max);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    println!("{name:<40} min {min:8.3}s  mean {mean:8.3}s  max {max:8.3}s");
 }
 
-fn fig03_cfq_async_unfair(c: &mut Criterion) {
-    let cfg = exp::fig03_cfq_async_unfair::Config {
-        duration: short(5),
-        ..exp::fig03_cfq_async_unfair::Config::quick()
-    };
-    c.bench_function("fig03_cfq_async_unfair", |b| {
-        b.iter(|| exp::fig03_cfq_async_unfair::run(&cfg))
-    });
-}
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    // `cargo bench -- <pattern>` passes the pattern through; ignore the
+    // conventional `--bench` flag cargo appends.
+    let filter = args
+        .iter()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .map(|s| s.as_str());
 
-fn fig05_latency_dependency(c: &mut Criterion) {
-    let cfg = exp::fig05_latency_dependency::Config {
-        duration: short(4),
-        b_blocks: [16, 256, 1024, 1024, 1024],
-        ..exp::fig05_latency_dependency::Config::quick()
-    };
-    c.bench_function("fig05_latency_dependency", |b| {
-        b.iter(|| {
-            exp::fig05_latency_dependency::run_point(
-                &cfg,
-                256,
-                exp::SchedChoice::BlockDeadlineWith(20, 20),
-            )
-        })
+    bench("fig01_write_burst", filter, || {
+        let cfg = exp::fig01_write_burst::Config {
+            duration: short(8),
+            ..exp::fig01_write_burst::Config::quick()
+        };
+        exp::fig01_write_burst::run(&cfg);
     });
-}
 
-fn fig06_scs_isolation(c: &mut Criterion) {
-    let cfg = exp::fig06_scs_isolation::Config {
-        duration: short(3),
-        ..exp::fig06_scs_isolation::Config::quick()
-    };
-    c.bench_function("fig06_scs_isolation", |b| {
-        b.iter(|| {
-            exp::fig06_scs_isolation::run_point(
-                &cfg,
-                exp::SchedChoice::ScsToken,
-                sim_experiments::setup::FsChoice::Ext4,
-                4096,
-                false,
-            )
-        })
+    bench("fig03_cfq_async_unfair", filter, || {
+        let cfg = exp::fig03_cfq_async_unfair::Config {
+            duration: short(5),
+            ..exp::fig03_cfq_async_unfair::Config::quick()
+        };
+        exp::fig03_cfq_async_unfair::run(&cfg);
     });
-}
 
-fn fig09_time_overhead(c: &mut Criterion) {
-    // The paper's Figure 9 measured the framework's own cost. Here the
-    // benchmark times the *simulated-kernel wall clock* with every hook
-    // wired (split-noop) vs the block-level noop.
-    let cfg = exp::fig09_time_overhead::Config {
-        duration: short(2),
-        threads: [1, 10, 100],
-    };
-    let mut g = c.benchmark_group("fig09_time_overhead");
-    g.bench_function("block_noop", |b| {
-        b.iter(|| exp::fig09_time_overhead::run(&cfg))
+    bench("fig05_latency_dependency", filter, || {
+        let cfg = exp::fig05_latency_dependency::Config {
+            duration: short(4),
+            b_blocks: [16, 256, 1024, 1024, 1024],
+            ..exp::fig05_latency_dependency::Config::quick()
+        };
+        exp::fig05_latency_dependency::run_point(
+            &cfg,
+            256,
+            exp::SchedChoice::BlockDeadlineWith(20, 20),
+        );
     });
-    g.finish();
-}
 
-fn fig10_space_overhead(c: &mut Criterion) {
-    let cfg = exp::fig10_space_overhead::Config {
-        duration: short(3),
-        ..exp::fig10_space_overhead::Config::quick()
-    };
-    c.bench_function("fig10_space_overhead", |b| {
-        b.iter(|| exp::fig10_space_overhead::run(&cfg))
+    bench("fig06_scs_isolation", filter, || {
+        let cfg = exp::fig06_scs_isolation::Config {
+            duration: short(3),
+            ..exp::fig06_scs_isolation::Config::quick()
+        };
+        exp::fig06_scs_isolation::run_point(
+            &cfg,
+            exp::SchedChoice::ScsToken,
+            exp::setup::FsChoice::Ext4,
+            4096,
+            false,
+        );
     });
-}
 
-fn fig11_afq(c: &mut Criterion) {
-    let cfg = exp::fig11_afq::Config {
-        duration: short(4),
-        sync_threads_per_prio: 1,
-    };
-    c.bench_function("fig11_afq_async_write_panel", |b| {
-        b.iter(|| {
-            exp::fig11_afq::run_panel(&cfg, exp::SchedChoice::Afq, exp::fig11_afq::Workload::AsyncWrite)
-        })
+    bench("fig09_time_overhead/block_noop", filter, || {
+        let cfg = exp::fig09_time_overhead::Config {
+            duration: short(2),
+            threads: [1, 10, 100],
+        };
+        exp::fig09_time_overhead::run(&cfg);
     });
-}
 
-fn fig12_fsync_isolation(c: &mut Criterion) {
-    let cfg = exp::fig12_fsync_isolation::Config {
-        duration: short(6),
-        ..exp::fig12_fsync_isolation::Config::quick_hdd()
-    };
-    c.bench_function("fig12_fsync_isolation", |b| {
-        b.iter(|| exp::fig12_fsync_isolation::run(&cfg))
+    bench("fig10_space_overhead", filter, || {
+        let cfg = exp::fig10_space_overhead::Config {
+            duration: short(3),
+            ..exp::fig10_space_overhead::Config::quick()
+        };
+        exp::fig10_space_overhead::run(&cfg);
     });
-}
 
-fn fig13_16_split_token_isolation(c: &mut Criterion) {
-    let cfg = exp::fig06_scs_isolation::Config {
-        duration: short(3),
-        ..exp::fig06_scs_isolation::Config::quick()
-    };
-    let mut g = c.benchmark_group("fig13_16_split_token");
-    g.bench_function("ext4", |b| {
-        b.iter(|| {
-            exp::fig06_scs_isolation::run_point(
-                &cfg,
-                exp::SchedChoice::SplitToken,
-                sim_experiments::setup::FsChoice::Ext4,
-                4096,
-                true,
-            )
-        })
+    bench("fig11_afq_async_write_panel", filter, || {
+        let cfg = exp::fig11_afq::Config {
+            duration: short(4),
+            sync_threads_per_prio: 1,
+        };
+        exp::fig11_afq::run_panel(
+            &cfg,
+            exp::SchedChoice::Afq,
+            exp::fig11_afq::Workload::AsyncWrite,
+        );
     });
-    g.bench_function("xfs", |b| {
-        b.iter(|| {
-            exp::fig06_scs_isolation::run_point(
-                &cfg,
-                exp::SchedChoice::SplitToken,
-                sim_experiments::setup::FsChoice::Xfs,
-                4096,
-                true,
-            )
-        })
-    });
-    g.finish();
-}
 
-fn fig14_token_comparison(c: &mut Criterion) {
-    let cfg = exp::fig14_token_comparison::Config {
-        duration: short(3),
-        ..exp::fig14_token_comparison::Config::quick()
-    };
-    c.bench_function("fig14_write_mem_point", |b| {
-        b.iter(|| {
-            exp::fig14_token_comparison::run_point(
-                &cfg,
-                exp::SchedChoice::SplitToken,
-                exp::fig14_token_comparison::BWorkload::WriteMem,
-            )
-        })
+    bench("fig12_fsync_isolation", filter, || {
+        let cfg = exp::fig12_fsync_isolation::Config {
+            duration: short(6),
+            ..exp::fig12_fsync_isolation::Config::quick_hdd()
+        };
+        exp::fig12_fsync_isolation::run(&cfg);
     });
-}
 
-fn fig15_thread_scaling(c: &mut Criterion) {
-    let cfg = exp::fig15_thread_scaling::Config {
-        duration: short(2),
-        ..exp::fig15_thread_scaling::Config::quick()
-    };
-    c.bench_function("fig15_spin_256_threads", |b| {
-        b.iter(|| {
-            exp::fig15_thread_scaling::run_point(
-                &cfg,
-                exp::fig15_thread_scaling::BActivity::Spin,
-                256,
-            )
-        })
+    bench("fig13_16_split_token/ext4", filter, || {
+        let cfg = exp::fig06_scs_isolation::Config {
+            duration: short(3),
+            ..exp::fig06_scs_isolation::Config::quick()
+        };
+        exp::fig06_scs_isolation::run_point(
+            &cfg,
+            exp::SchedChoice::SplitToken,
+            exp::setup::FsChoice::Ext4,
+            4096,
+            true,
+        );
     });
-}
 
-fn fig17_metadata(c: &mut Criterion) {
-    let cfg = exp::fig17_metadata::Config {
-        duration: short(4),
-        ..exp::fig17_metadata::Config::quick()
-    };
-    let mut g = c.benchmark_group("fig17_metadata");
-    g.bench_function("ext4_full_integration", |b| {
-        b.iter(|| exp::fig17_metadata::run_point(&cfg, sim_experiments::setup::FsChoice::Ext4, 0))
+    bench("fig13_16_split_token/xfs", filter, || {
+        let cfg = exp::fig06_scs_isolation::Config {
+            duration: short(3),
+            ..exp::fig06_scs_isolation::Config::quick()
+        };
+        exp::fig06_scs_isolation::run_point(
+            &cfg,
+            exp::SchedChoice::SplitToken,
+            exp::setup::FsChoice::Xfs,
+            4096,
+            true,
+        );
     });
-    g.bench_function("xfs_partial_integration", |b| {
-        b.iter(|| exp::fig17_metadata::run_point(&cfg, sim_experiments::setup::FsChoice::Xfs, 0))
-    });
-    g.finish();
-}
 
-fn fig18_sqlite(c: &mut Criterion) {
-    let cfg = exp::fig18_sqlite::Config {
-        duration: short(8),
-        ..exp::fig18_sqlite::Config::quick()
-    };
-    c.bench_function("fig18_sqlite_split_deadline", |b| {
-        b.iter(|| exp::fig18_sqlite::run_point(&cfg, exp::SchedChoice::SplitDeadline, 1000))
+    bench("fig14_write_mem_point", filter, || {
+        let cfg = exp::fig14_token_comparison::Config {
+            duration: short(3),
+            ..exp::fig14_token_comparison::Config::quick()
+        };
+        exp::fig14_token_comparison::run_point(
+            &cfg,
+            exp::SchedChoice::SplitToken,
+            exp::fig14_token_comparison::BWorkload::WriteMem,
+        );
     });
-}
 
-fn fig19_postgres(c: &mut Criterion) {
-    let cfg = exp::fig19_postgres::Config {
-        duration: short(10),
-        ..exp::fig19_postgres::Config::quick()
-    };
-    c.bench_function("fig19_postgres", |b| b.iter(|| exp::fig19_postgres::run(&cfg)));
-}
+    bench("fig15_spin_256_threads", filter, || {
+        let cfg = exp::fig15_thread_scaling::Config {
+            duration: short(2),
+            ..exp::fig15_thread_scaling::Config::quick()
+        };
+        exp::fig15_thread_scaling::run_point(&cfg, exp::fig15_thread_scaling::BActivity::Spin, 256);
+    });
 
-fn fig20_qemu(c: &mut Criterion) {
-    let cfg = exp::fig20_qemu::Config {
-        duration: short(4),
-        ..exp::fig20_qemu::Config::quick()
-    };
-    c.bench_function("fig20_qemu_read_rand", |b| {
-        b.iter(|| {
-            exp::fig20_qemu::run_point(
-                &cfg,
-                exp::SchedChoice::SplitToken,
-                exp::fig20_qemu::GuestWorkload::ReadRand,
-            )
-        })
+    bench("fig17_metadata/ext4_full_integration", filter, || {
+        let cfg = exp::fig17_metadata::Config {
+            duration: short(4),
+            ..exp::fig17_metadata::Config::quick()
+        };
+        exp::fig17_metadata::run_point(&cfg, exp::setup::FsChoice::Ext4, 0);
     });
-}
 
-fn fig21_hdfs(c: &mut Criterion) {
-    let cfg = exp::fig21_hdfs::Config {
-        duration: short(5),
-        ..exp::fig21_hdfs::Config::quick()
-    };
-    c.bench_function("fig21_hdfs", |b| {
-        b.iter(|| exp::fig21_hdfs::run_point(&cfg, cfg.cluster.block_bytes, cfg.rate_caps[1]))
+    bench("fig17_metadata/xfs_partial_integration", filter, || {
+        let cfg = exp::fig17_metadata::Config {
+            duration: short(4),
+            ..exp::fig17_metadata::Config::quick()
+        };
+        exp::fig17_metadata::run_point(&cfg, exp::setup::FsChoice::Xfs, 0);
     });
-}
 
-fn ablations(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablations");
-    g.bench_function("burst_no_prompt_charging", |b| {
-        b.iter(|| sim_experiments::ablations::burst_ablation(short(8)))
+    bench("fig18_sqlite_split_deadline", filter, || {
+        let cfg = exp::fig18_sqlite::Config {
+            duration: short(8),
+            ..exp::fig18_sqlite::Config::quick()
+        };
+        exp::fig18_sqlite::run_point(&cfg, exp::SchedChoice::SplitDeadline, 1000);
     });
-    g.bench_function("tags_vs_submitter", |b| {
-        b.iter(|| sim_experiments::ablations::tag_ablation(short(5)))
-    });
-    g.bench_function("gate_vs_fifo", |b| {
-        b.iter(|| sim_experiments::ablations::gate_ablation(short(5)))
-    });
-    g.finish();
-}
 
-criterion_group! {
-    name = figures;
-    config = Criterion::default().sample_size(10);
-    targets =
-        fig01_write_burst,
-        fig03_cfq_async_unfair,
-        fig05_latency_dependency,
-        fig06_scs_isolation,
-        fig09_time_overhead,
-        fig10_space_overhead,
-        fig11_afq,
-        fig12_fsync_isolation,
-        fig13_16_split_token_isolation,
-        fig14_token_comparison,
-        fig15_thread_scaling,
-        fig17_metadata,
-        fig18_sqlite,
-        fig19_postgres,
-        fig20_qemu,
-        fig21_hdfs,
-        ablations,
+    bench("fig19_postgres", filter, || {
+        let cfg = exp::fig19_postgres::Config {
+            duration: short(10),
+            ..exp::fig19_postgres::Config::quick()
+        };
+        exp::fig19_postgres::run(&cfg);
+    });
+
+    bench("fig20_qemu_read_rand", filter, || {
+        let cfg = exp::fig20_qemu::Config {
+            duration: short(4),
+            ..exp::fig20_qemu::Config::quick()
+        };
+        exp::fig20_qemu::run_point(
+            &cfg,
+            exp::SchedChoice::SplitToken,
+            exp::fig20_qemu::GuestWorkload::ReadRand,
+        );
+    });
+
+    bench("fig21_hdfs", filter, || {
+        let cfg = exp::fig21_hdfs::Config {
+            duration: short(5),
+            ..exp::fig21_hdfs::Config::quick()
+        };
+        exp::fig21_hdfs::run_point(&cfg, cfg.cluster.block_bytes, cfg.rate_caps[1]);
+    });
+
+    bench("ablations/burst_no_prompt_charging", filter, || {
+        exp::ablations::burst_ablation(short(8));
+    });
+
+    bench("ablations/tags_vs_submitter", filter, || {
+        exp::ablations::tag_ablation(short(5));
+    });
+
+    bench("ablations/gate_vs_fifo", filter, || {
+        exp::ablations::gate_ablation(short(5));
+    });
 }
-criterion_main!(figures);

@@ -243,9 +243,18 @@ mod tests {
         );
         // WAL append → fsync (no database-file writes in WAL mode).
         let b = wkr.next(SimTime::ZERO, &Outcome::None);
-        assert!(matches!(b, ProcAction::Syscall(SyscallKind::Write { file: FileId(2), .. })));
+        assert!(matches!(
+            b,
+            ProcAction::Syscall(SyscallKind::Write {
+                file: FileId(2),
+                ..
+            })
+        ));
         let c = wkr.next(SimTime::ZERO, &Outcome::None);
-        assert!(matches!(c, ProcAction::Syscall(SyscallKind::Fsync { file: FileId(2) })));
+        assert!(matches!(
+            c,
+            ProcAction::Syscall(SyscallKind::Fsync { file: FileId(2) })
+        ));
         // Commit recorded; dirty WAL frames queue for the checkpointer.
         let _ = wkr.next(SimTime::from_nanos(5_000_000), &Outcome::Synced);
         assert_eq!(shared.borrow().txn_latencies.len(), 1);
@@ -269,7 +278,10 @@ mod tests {
         for _ in 0..3 {
             assert!(matches!(
                 cp.next(SimTime::ZERO, &Outcome::None),
-                ProcAction::Syscall(SyscallKind::Write { file: FileId(1), .. })
+                ProcAction::Syscall(SyscallKind::Write {
+                    file: FileId(1),
+                    ..
+                })
             ));
         }
         // …then the fsync.

@@ -230,12 +230,27 @@ mod tests {
         };
         let mut wk = PgWorker::new(cfg, shared.clone(), FileId(1), FileId(2), 3);
         let a = wk.next(SimTime::ZERO, &Outcome::None);
-        assert!(matches!(a, ProcAction::Syscall(SyscallKind::Read { file: FileId(1), .. })));
+        assert!(matches!(
+            a,
+            ProcAction::Syscall(SyscallKind::Read {
+                file: FileId(1),
+                ..
+            })
+        ));
         // Updates dirty shared buffers; only the WAL is written at commit.
         let c = wk.next(SimTime::ZERO, &Outcome::None);
-        assert!(matches!(c, ProcAction::Syscall(SyscallKind::Write { file: FileId(2), .. })));
+        assert!(matches!(
+            c,
+            ProcAction::Syscall(SyscallKind::Write {
+                file: FileId(2),
+                ..
+            })
+        ));
         let d = wk.next(SimTime::ZERO, &Outcome::None);
-        assert!(matches!(d, ProcAction::Syscall(SyscallKind::Fsync { file: FileId(2) })));
+        assert!(matches!(
+            d,
+            ProcAction::Syscall(SyscallKind::Fsync { file: FileId(2) })
+        ));
         let _ = wk.next(SimTime::from_nanos(1), &Outcome::Synced);
         assert_eq!(shared.borrow().txn_latencies.len(), 1);
         assert_eq!(shared.borrow().pending_pages, 1);
@@ -253,7 +268,10 @@ mod tests {
         for _ in 0..2 {
             assert!(matches!(
                 cp.next(SimTime::ZERO, &Outcome::None),
-                ProcAction::Syscall(SyscallKind::Write { file: FileId(1), .. })
+                ProcAction::Syscall(SyscallKind::Write {
+                    file: FileId(1),
+                    ..
+                })
             ));
         }
         assert!(matches!(

@@ -199,7 +199,9 @@ impl Elevator for Cfq {
             let class = self.queues.get(&key).map(|q| q.class);
             // Preemption: a waiting RT queue ends a BE/idle slice at once.
             let preempted = class
-                .map(|c| c != PrioClass::RealTime && self.higher_class_waiting(PrioClass::BestEffort))
+                .map(|c| {
+                    c != PrioClass::RealTime && self.higher_class_waiting(PrioClass::BestEffort)
+                })
                 .unwrap_or(false);
             if in_slice && !preempted {
                 if has_work {
@@ -357,7 +359,10 @@ mod tests {
         let dev = HddModel::new();
         e.add(req(1, 5, 100, true, IoPrio::DEFAULT), SimTime::ZERO);
         e.add(req(2, 6, 900, true, IoPrio::DEFAULT), SimTime::ZERO);
-        assert!(matches!(e.dispatch(SimTime::ZERO, &dev), Dispatch::Issue(_)));
+        assert!(matches!(
+            e.dispatch(SimTime::ZERO, &dev),
+            Dispatch::Issue(_)
+        ));
         let wait = match e.dispatch(SimTime::from_nanos(1), &dev) {
             Dispatch::WaitUntil(u) => u,
             other => panic!("{other:?}"),

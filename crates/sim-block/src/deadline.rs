@@ -297,7 +297,10 @@ mod tests {
     fn expired_deadline_jumps_the_sweep() {
         let mut e = BlockDeadline::new();
         e.add(req(1, IoDir::Read, 100, None), SimTime::ZERO);
-        e.add(req(2, IoDir::Read, 900, Some(SimTime::from_nanos(5))), SimTime::ZERO);
+        e.add(
+            req(2, IoDir::Read, 900, Some(SimTime::from_nanos(5))),
+            SimTime::ZERO,
+        );
         e.add(req(3, IoDir::Read, 200, None), SimTime::ZERO);
         // At a time past request 2's deadline, it is served first despite
         // being farthest away.

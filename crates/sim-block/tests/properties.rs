@@ -1,7 +1,9 @@
-//! Property-based tests: no elevator ever loses or duplicates a request.
+//! Randomized tests: no elevator ever loses or duplicates a request.
+//! Driven by `SimRng` so the case set is deterministic and needs no
+//! external property-testing crate.
 
-use proptest::prelude::*;
 use sim_block::{BlockDeadline, Cfq, Dispatch, Elevator, IoPrio, Noop, Request};
+use sim_core::rng::SimRng;
 use sim_core::{BlockNo, CauseSet, Pid, RequestId, SimDuration, SimTime};
 use sim_device::{HddModel, IoDir};
 
@@ -13,18 +15,16 @@ struct ReqSpec {
     prio: u8,
 }
 
-fn req_specs() -> impl Strategy<Value = Vec<ReqSpec>> {
-    proptest::collection::vec(
-        (0u64..100_000, any::<bool>(), 1u32..6, 0u8..8).prop_map(|(start, read, pid, prio)| {
-            ReqSpec {
-                start,
-                read,
-                pid,
-                prio,
-            }
-        }),
-        1..60,
-    )
+fn rand_specs(rng: &mut SimRng) -> Vec<ReqSpec> {
+    let n = 1 + rng.gen_range(59) as usize;
+    (0..n)
+        .map(|_| ReqSpec {
+            start: rng.gen_range(100_000),
+            read: rng.gen_bool(0.5),
+            pid: 1 + rng.gen_range(5) as u32,
+            prio: rng.gen_range(8) as u8,
+        })
+        .collect()
 }
 
 fn build(spec: &ReqSpec, id: u64) -> Request {
@@ -54,7 +54,7 @@ fn drain(elev: &mut dyn Elevator, n: usize) -> Vec<u64> {
     while out.len() < n && stall < 10_000 {
         match elev.dispatch(now, &dev) {
             Dispatch::Issue(r) => {
-                now = now + SimDuration::from_micros(100);
+                now += SimDuration::from_micros(100);
                 elev.completed(&r, now);
                 out.push(r.id.raw());
                 stall = 0;
@@ -64,7 +64,7 @@ fn drain(elev: &mut dyn Elevator, n: usize) -> Vec<u64> {
                 stall += 1;
             }
             Dispatch::Idle => {
-                now = now + SimDuration::from_millis(10);
+                now += SimDuration::from_millis(10);
                 stall += 1;
             }
         }
@@ -72,48 +72,56 @@ fn drain(elev: &mut dyn Elevator, n: usize) -> Vec<u64> {
     out
 }
 
-fn check_conservation(mut elev: Box<dyn Elevator>, specs: &[ReqSpec]) -> Result<(), TestCaseError> {
+fn check_conservation(mut elev: Box<dyn Elevator>, specs: &[ReqSpec]) {
     for (i, s) in specs.iter().enumerate() {
         elev.add(build(s, i as u64), SimTime::ZERO);
     }
-    prop_assert_eq!(elev.queued(), specs.len());
+    assert_eq!(elev.queued(), specs.len());
     let mut got = drain(elev.as_mut(), specs.len());
     got.sort_unstable();
-    prop_assert_eq!(
+    assert_eq!(
         got,
         (0..specs.len() as u64).collect::<Vec<_>>(),
         "every request must be dispatched exactly once"
     );
-    prop_assert_eq!(elev.queued(), 0);
-    Ok(())
+    assert_eq!(elev.queued(), 0);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn noop_conserves_requests(specs in req_specs()) {
-        check_conservation(Box::new(Noop::new()), &specs)?;
+#[test]
+fn noop_conserves_requests() {
+    let mut rng = SimRng::seed_from_u64(1);
+    for _ in 0..32 {
+        check_conservation(Box::new(Noop::new()), &rand_specs(&mut rng));
     }
+}
 
-    #[test]
-    fn cfq_conserves_requests(specs in req_specs()) {
-        check_conservation(Box::new(Cfq::new()), &specs)?;
+#[test]
+fn cfq_conserves_requests() {
+    let mut rng = SimRng::seed_from_u64(2);
+    for _ in 0..32 {
+        check_conservation(Box::new(Cfq::new()), &rand_specs(&mut rng));
     }
+}
 
-    #[test]
-    fn block_deadline_conserves_requests(specs in req_specs()) {
-        check_conservation(Box::new(BlockDeadline::new()), &specs)?;
+#[test]
+fn block_deadline_conserves_requests() {
+    let mut rng = SimRng::seed_from_u64(3);
+    for _ in 0..32 {
+        check_conservation(Box::new(BlockDeadline::new()), &rand_specs(&mut rng));
     }
+}
 
-    /// Noop preserves exact FIFO order.
-    #[test]
-    fn noop_is_fifo(specs in req_specs()) {
+/// Noop preserves exact FIFO order.
+#[test]
+fn noop_is_fifo() {
+    let mut rng = SimRng::seed_from_u64(4);
+    for _ in 0..32 {
+        let specs = rand_specs(&mut rng);
         let mut e = Noop::new();
         for (i, s) in specs.iter().enumerate() {
             e.add(build(s, i as u64), SimTime::ZERO);
         }
         let got = drain(&mut e, specs.len());
-        prop_assert_eq!(got, (0..specs.len() as u64).collect::<Vec<_>>());
+        assert_eq!(got, (0..specs.len() as u64).collect::<Vec<_>>());
     }
 }

@@ -71,9 +71,7 @@ impl DirtyStore {
 
     /// Whether a specific page is dirty.
     pub fn contains(&self, file: FileId, page: u64) -> bool {
-        self.files
-            .get(&file)
-            .is_some_and(|m| m.contains_key(&page))
+        self.files.get(&file).is_some_and(|m| m.contains_key(&page))
     }
 
     /// Mark one page dirty for `causes`.
@@ -158,7 +156,11 @@ impl DirtyStore {
             .files
             .iter()
             .map(|(f, m)| {
-                let oldest = m.values().map(|d| d.dirtied_at).min().unwrap_or(SimTime::MAX);
+                let oldest = m
+                    .values()
+                    .map(|d| d.dirtied_at)
+                    .min()
+                    .unwrap_or(SimTime::MAX);
                 (oldest, *f)
             })
             .collect();
@@ -239,8 +241,20 @@ mod tests {
         let mut s = DirtyStore::new();
         let mut tm = TagMem::new();
         let f = FileId(1);
-        s.dirty_page(f, 0, &CauseSet::of(Pid(1)), SimTime::from_nanos(50), &mut tm);
-        s.dirty_page(f, 1, &CauseSet::of(Pid(1)), SimTime::from_nanos(10), &mut tm);
+        s.dirty_page(
+            f,
+            0,
+            &CauseSet::of(Pid(1)),
+            SimTime::from_nanos(50),
+            &mut tm,
+        );
+        s.dirty_page(
+            f,
+            1,
+            &CauseSet::of(Pid(1)),
+            SimTime::from_nanos(10),
+            &mut tm,
+        );
         let ranges = s.take_ranges(f, 10, &mut tm);
         assert_eq!(ranges[0].oldest, SimTime::from_nanos(10));
     }

@@ -12,6 +12,7 @@ pub mod dirty;
 pub mod tagmem;
 
 use sim_core::{CauseSet, FileId, SimTime, PAGE_SIZE};
+use sim_trace::Tracer;
 
 pub use clean::CleanCache;
 pub use dirty::{DirtyEvent, DirtyStore, PageRange};
@@ -58,6 +59,7 @@ pub struct PageCache {
     dirty: DirtyStore,
     clean: CleanCache,
     tagmem: TagMem,
+    tracer: Tracer,
 }
 
 impl PageCache {
@@ -68,7 +70,14 @@ impl PageCache {
             dirty: DirtyStore::new(),
             clean: CleanCache::new(cfg.mem_bytes / PAGE_SIZE),
             tagmem: TagMem::new(),
+            tracer: Tracer::new(),
         }
+    }
+
+    /// Share the kernel's tracing handle, so cache activity (dirty
+    /// counts, tag-memory footprint) lands in the common registry.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Configuration in effect.
@@ -94,9 +103,23 @@ impl PageCache {
         causes: &CauseSet,
         now: SimTime,
     ) -> DirtyEvent {
-        let ev = self.dirty.dirty_page(file, page, causes, now, &mut self.tagmem);
+        let ev = self
+            .dirty
+            .dirty_page(file, page, causes, now, &mut self.tagmem);
         // A dirtied page is also resident for reads.
         self.clean.insert(file, page);
+        if self.tracer.enabled() {
+            let which = if ev.new_bytes > 0 {
+                "cache.pages_dirtied"
+            } else {
+                "cache.overwrites"
+            };
+            self.tracer.count(which, 1);
+            self.tracer
+                .gauge("cache.dirty_pages", now, self.dirty.total() as f64);
+            self.tracer
+                .gauge("cache.tag_bytes", now, self.tagmem.live_bytes() as f64);
+        }
         ev
     }
 
@@ -105,7 +128,10 @@ impl PageCache {
     /// Called by the writeback/fsync path as pages are submitted to the
     /// block layer; the pages stay readable (clean) afterwards.
     pub fn take_dirty_ranges(&mut self, file: FileId, max: u64) -> Vec<PageRange> {
-        self.dirty.take_ranges(file, max, &mut self.tagmem)
+        let ranges = self.dirty.take_ranges(file, max, &mut self.tagmem);
+        self.tracer
+            .count("cache.pages_cleaned", ranges.iter().map(|r| r.len).sum());
+        ranges
     }
 
     /// All dirty pages of `file` (for fsync cost estimation).
@@ -117,7 +143,12 @@ impl PageCache {
     /// ranges whose writeback was avoided, for the buffer-free hooks.
     pub fn free_file(&mut self, file: FileId) -> Vec<PageRange> {
         self.clean.remove_file(file);
-        self.dirty.free_file(file, &mut self.tagmem)
+        let ranges = self.dirty.free_file(file, &mut self.tagmem);
+        self.tracer.count(
+            "cache.pages_freed_dirty",
+            ranges.iter().map(|r| r.len).sum(),
+        );
+        ranges
     }
 
     // ---- read path ------------------------------------------------------
@@ -148,6 +179,7 @@ impl PageCache {
         for p in page..page + len {
             self.clean.insert(file, p);
         }
+        self.tracer.count("cache.pages_filled", len);
     }
 
     // ---- thresholds & accounting -----------------------------------------

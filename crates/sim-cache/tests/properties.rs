@@ -1,7 +1,8 @@
-//! Property-based tests: dirty-page conservation and residency laws.
+//! Randomized tests: dirty-page conservation and residency laws, driven
+//! by `SimRng` so the case set is deterministic and dependency-free.
 
-use proptest::prelude::*;
 use sim_cache::{CacheConfig, PageCache};
+use sim_core::rng::SimRng;
 use sim_core::{CauseSet, FileId, Pid, SimTime};
 
 #[derive(Debug, Clone)]
@@ -12,26 +13,39 @@ enum Op {
     Fill { file: u8, page: u16, len: u8 },
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0u8..4, 0u16..512, 0u8..8).prop_map(|(file, page, pid)| Op::Dirty { file, page, pid }),
-            (0u8..4, 1u16..64).prop_map(|(file, max)| Op::Take { file, max }),
-            (0u8..4).prop_map(|file| Op::Free { file }),
-            (0u8..4, 0u16..512, 1u8..32).prop_map(|(file, page, len)| Op::Fill { file, page, len }),
-        ],
-        1..200,
-    )
+fn rand_ops(rng: &mut SimRng) -> Vec<Op> {
+    let n = 1 + rng.gen_range(199) as usize;
+    (0..n)
+        .map(|_| match rng.gen_range(4) {
+            0 => Op::Dirty {
+                file: rng.gen_range(4) as u8,
+                page: rng.gen_range(512) as u16,
+                pid: rng.gen_range(8) as u8,
+            },
+            1 => Op::Take {
+                file: rng.gen_range(4) as u8,
+                max: 1 + rng.gen_range(63) as u16,
+            },
+            2 => Op::Free {
+                file: rng.gen_range(4) as u8,
+            },
+            _ => Op::Fill {
+                file: rng.gen_range(4) as u8,
+                page: rng.gen_range(512) as u16,
+                len: 1 + rng.gen_range(31) as u8,
+            },
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The dirty counter always equals (dirtied − taken − freed); tag
-    /// memory goes to zero when no dirty pages remain; taken ranges never
-    /// overlap and never exceed what was dirtied.
-    #[test]
-    fn dirty_accounting_is_conserved(ops in ops()) {
+/// The dirty counter always equals (dirtied − taken − freed); tag
+/// memory goes to zero when no dirty pages remain; taken ranges never
+/// overlap and never exceed what was dirtied.
+#[test]
+fn dirty_accounting_is_conserved() {
+    let mut rng = SimRng::seed_from_u64(0xCAC4E);
+    for _ in 0..64 {
+        let ops = rand_ops(&mut rng);
         let mut cache = PageCache::new(CacheConfig {
             mem_bytes: 16 << 20,
             ..Default::default()
@@ -50,49 +64,58 @@ proptest! {
                         now,
                     );
                     let fresh = model.insert((file, page));
-                    prop_assert_eq!(ev.prev.is_some(), !fresh, "overwrite detection");
+                    assert_eq!(ev.prev.is_some(), !fresh, "overwrite detection");
                 }
                 Op::Take { file, max } => {
                     let ranges = cache.take_dirty_ranges(FileId(file as u64), max as u64);
                     let mut taken = 0;
                     for r in &ranges {
                         for p in r.start_page..r.start_page + r.len {
-                            prop_assert!(
+                            assert!(
                                 model.remove(&(file, p as u16)),
                                 "took a page that was not dirty"
                             );
                             taken += 1;
                         }
                     }
-                    prop_assert!(taken <= max as u64);
+                    assert!(taken <= max as u64);
                 }
                 Op::Free { file } => {
                     let freed = cache.free_file(FileId(file as u64));
                     for r in &freed {
                         for p in r.start_page..r.start_page + r.len {
-                            prop_assert!(model.remove(&(file, p as u16)));
+                            assert!(model.remove(&(file, p as u16)));
                         }
                     }
-                    prop_assert!(!model.iter().any(|&(f, _)| f == file));
+                    assert!(!model.iter().any(|&(f, _)| f == file));
                 }
                 Op::Fill { file, page, len } => {
                     cache.fill(FileId(file as u64), page as u64, len as u64);
                 }
             }
-            prop_assert_eq!(cache.dirty_total(), model.len() as u64, "dirty counter drift");
+            assert_eq!(
+                cache.dirty_total(),
+                model.len() as u64,
+                "dirty counter drift"
+            );
         }
         // Drain everything: tag memory returns to zero.
         for f in 0..4u8 {
             cache.free_file(FileId(f as u64));
         }
-        prop_assert_eq!(cache.dirty_total(), 0);
-        prop_assert_eq!(cache.tagmem().live_bytes(), 0, "leaked tag bytes");
+        assert_eq!(cache.dirty_total(), 0);
+        assert_eq!(cache.tagmem().live_bytes(), 0, "leaked tag bytes");
     }
+}
 
-    /// A dirty page is always a cache hit; a taken (cleaned) page stays
-    /// resident.
-    #[test]
-    fn dirty_pages_are_always_resident(pages in proptest::collection::vec(0u16..128, 1..40)) {
+/// A dirty page is always a cache hit; a taken (cleaned) page stays
+/// resident.
+#[test]
+fn dirty_pages_are_always_resident() {
+    let mut rng = SimRng::seed_from_u64(0xD1237);
+    for _ in 0..64 {
+        let n = 1 + rng.gen_range(39) as usize;
+        let pages: Vec<u16> = (0..n).map(|_| rng.gen_range(128) as u16).collect();
         let mut cache = PageCache::new(CacheConfig {
             mem_bytes: 64 << 20,
             ..Default::default()
@@ -100,11 +123,11 @@ proptest! {
         let f = FileId(1);
         for &p in &pages {
             cache.dirty_page(f, p as u64, &CauseSet::of(Pid(1)), SimTime::ZERO);
-            prop_assert!(cache.read_misses(f, p as u64, 1).is_empty());
+            assert!(cache.read_misses(f, p as u64, 1).is_empty());
         }
         cache.take_dirty_ranges(f, u64::MAX);
         for &p in &pages {
-            prop_assert!(
+            assert!(
                 cache.read_misses(f, p as u64, 1).is_empty(),
                 "cleaned pages remain readable"
             );

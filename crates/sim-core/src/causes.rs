@@ -125,7 +125,11 @@ impl CauseSet {
 
 impl fmt::Debug for CauseSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "causes{:?}", self.pids.iter().map(|p| p.0).collect::<Vec<_>>())
+        write!(
+            f,
+            "causes{:?}",
+            self.pids.iter().map(|p| p.0).collect::<Vec<_>>()
+        )
     }
 }
 

@@ -86,6 +86,7 @@ impl IdAlloc {
 
     /// Allocate the next raw id.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         let v = self.next;
         self.next += 1;

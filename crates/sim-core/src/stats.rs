@@ -23,14 +23,71 @@ pub fn stddev(xs: &[f64]) -> f64 {
 
 /// Percentile by the nearest-rank method (`p` in `[0, 100]`). Returns zero
 /// for an empty slice.
+///
+/// Sorts a copy of the input on every call; when several percentiles of
+/// the same sample are needed (the common case in experiment tables),
+/// build a [`Percentiles`] once instead.
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
-    if xs.is_empty() {
-        return 0.0;
+    Percentiles::from_slice(xs).p(p)
+}
+
+/// A sorted sample that serves any number of nearest-rank percentile
+/// queries after a single sort.
+#[derive(Debug, Clone, Default)]
+pub struct Percentiles {
+    sorted: Vec<f64>,
+}
+
+impl Percentiles {
+    /// Take ownership of the sample and sort it once.
+    pub fn new(mut xs: Vec<f64>) -> Self {
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+        Percentiles { sorted: xs }
     }
-    let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+
+    /// Copy the sample and sort it once.
+    pub fn from_slice(xs: &[f64]) -> Self {
+        Self::new(xs.to_vec())
+    }
+
+    /// Nearest-rank percentile (`p` in `[0, 100]`); zero when empty.
+    pub fn p(&self, p: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * self.sorted.len() as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, self.sorted.len()) - 1]
+    }
+
+    /// Median.
+    pub fn p50(&self) -> f64 {
+        self.p(50.0)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.p(95.0)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.p(99.0)
+    }
+
+    /// Sample size.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when no samples were provided.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Largest sample; zero when empty.
+    pub fn max(&self) -> f64 {
+        self.sorted.last().copied().unwrap_or(0.0)
+    }
 }
 
 /// Accumulates throughput of a flow: bytes completed over elapsed time.
@@ -101,7 +158,10 @@ impl TimeSeries {
     /// Per-bucket throughput in MB/s.
     pub fn mbps(&self) -> Vec<f64> {
         let secs = self.bucket.as_secs_f64();
-        self.buckets.iter().map(|&b| b as f64 / 1e6 / secs).collect()
+        self.buckets
+            .iter()
+            .map(|&b| b as f64 / 1e6 / secs)
+            .collect()
     }
 
     /// Bucket width.
@@ -131,6 +191,20 @@ mod tests {
         assert_eq!(percentile(&xs, 100.0), 100.0);
         assert_eq!(percentile(&xs, 0.0), 1.0);
         assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn percentiles_struct_sorts_once_and_agrees() {
+        let xs = vec![5.0, 1.0, 9.0, 3.0, 7.0];
+        let ps = Percentiles::new(xs.clone());
+        for p in [0.0, 25.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(ps.p(p), percentile(&xs, p));
+        }
+        assert_eq!(ps.p50(), 5.0);
+        assert_eq!(ps.max(), 9.0);
+        assert_eq!(ps.len(), 5);
+        assert!(Percentiles::new(vec![]).is_empty());
+        assert_eq!(Percentiles::new(vec![]).p(50.0), 0.0);
     }
 
     #[test]

@@ -123,6 +123,7 @@ impl SimDuration {
     /// Integer division into `n` equal slices (rounding down, min 1 ns so
     /// progress is always made).
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, n: u64) -> SimDuration {
         SimDuration((self.0 / n.max(1)).max(1))
     }

@@ -1,67 +1,91 @@
-//! Property-based tests for the foundation types.
+//! Randomized tests for the foundation types, driven by the in-tree
+//! `SimRng` so the suite needs no external property-testing crate and
+//! every run exercises the same deterministic case set.
 
-use proptest::prelude::*;
+use sim_core::rng::SimRng;
 use sim_core::{CauseSet, EventQueue, Pid, SimTime};
 
-fn pids() -> impl Strategy<Value = Vec<u32>> {
-    proptest::collection::vec(0u32..100, 0..20)
+fn rand_pids(rng: &mut SimRng) -> Vec<u32> {
+    let n = rng.gen_range(20) as usize;
+    (0..n).map(|_| rng.gen_range(100) as u32).collect()
 }
 
-proptest! {
-    /// Union is commutative, associative and idempotent; the result
-    /// contains exactly the union of members.
-    #[test]
-    fn cause_set_union_laws(a in pids(), b in pids(), c in pids()) {
+/// Union is commutative, associative and idempotent; the result
+/// contains exactly the union of members.
+#[test]
+fn cause_set_union_laws() {
+    let mut rng = SimRng::seed_from_u64(0xC0FFEE);
+    for _ in 0..256 {
+        let a = rand_pids(&mut rng);
+        let b = rand_pids(&mut rng);
+        let c = rand_pids(&mut rng);
         let sa = CauseSet::from_pids(a.iter().map(|&p| Pid(p)));
         let sb = CauseSet::from_pids(b.iter().map(|&p| Pid(p)));
         let sc = CauseSet::from_pids(c.iter().map(|&p| Pid(p)));
         // commutative
-        prop_assert_eq!(sa.clone().union(&sb), sb.clone().union(&sa));
+        assert_eq!(sa.clone().union(&sb), sb.clone().union(&sa));
         // associative
-        prop_assert_eq!(
+        assert_eq!(
             sa.clone().union(&sb).union(&sc),
             sa.clone().union(&sb.clone().union(&sc))
         );
         // idempotent
-        prop_assert_eq!(sa.clone().union(&sa), sa.clone());
+        assert_eq!(sa.clone().union(&sa), sa.clone());
         // membership
         let u = sa.clone().union(&sb);
         for &p in a.iter().chain(b.iter()) {
-            prop_assert!(u.contains(Pid(p)));
+            assert!(u.contains(Pid(p)));
         }
-        prop_assert_eq!(
+        assert_eq!(
             u.len(),
-            a.iter().chain(b.iter()).collect::<std::collections::HashSet<_>>().len()
+            a.iter()
+                .chain(b.iter())
+                .collect::<std::collections::HashSet<_>>()
+                .len()
         );
     }
+}
 
-    /// Iteration is always sorted and duplicate-free.
-    #[test]
-    fn cause_set_is_sorted_and_deduped(a in pids()) {
+/// Iteration is always sorted and duplicate-free.
+#[test]
+fn cause_set_is_sorted_and_deduped() {
+    let mut rng = SimRng::seed_from_u64(0xBEEF);
+    for _ in 0..256 {
+        let a = rand_pids(&mut rng);
         let s = CauseSet::from_pids(a.iter().map(|&p| Pid(p)));
         let v: Vec<Pid> = s.iter().collect();
         let mut sorted = v.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        prop_assert_eq!(v, sorted);
+        assert_eq!(v, sorted);
     }
+}
 
-    /// Shares always sum to the full cost (when non-empty).
-    #[test]
-    fn cause_set_shares_conserve_cost(a in pids(), cost in 0.0f64..1e9) {
+/// Shares always sum to the full cost (when non-empty).
+#[test]
+fn cause_set_shares_conserve_cost() {
+    let mut rng = SimRng::seed_from_u64(0xACE);
+    for _ in 0..256 {
+        let a = rand_pids(&mut rng);
+        let cost = rng.gen_f64() * 1e9;
         let s = CauseSet::from_pids(a.iter().map(|&p| Pid(p)));
         let total: f64 = s.shares(cost).map(|(_, v)| v).sum();
         if s.is_empty() {
-            prop_assert_eq!(total, 0.0);
+            assert_eq!(total, 0.0);
         } else {
-            prop_assert!((total - cost).abs() < 1e-6 * cost.max(1.0));
+            assert!((total - cost).abs() < 1e-6 * cost.max(1.0));
         }
     }
+}
 
-    /// The event queue pops every scheduled event exactly once, in
-    /// non-decreasing time order, with FIFO among equal times.
-    #[test]
-    fn event_queue_is_a_stable_priority_queue(times in proptest::collection::vec(0u64..1000, 1..100)) {
+/// The event queue pops every scheduled event exactly once, in
+/// non-decreasing time order, with FIFO among equal times.
+#[test]
+fn event_queue_is_a_stable_priority_queue() {
+    let mut rng = SimRng::seed_from_u64(0xD1CE);
+    for _ in 0..128 {
+        let n = 1 + rng.gen_range(99) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.gen_range(1000)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_nanos(t), i);
@@ -69,27 +93,51 @@ proptest! {
         let mut popped = Vec::new();
         let mut last = (SimTime::ZERO, 0u64);
         while let Some(ev) = q.pop() {
-            prop_assert!(ev.time >= last.0, "time went backwards");
+            assert!(ev.time >= last.0, "time went backwards");
             if ev.time == last.0 {
-                prop_assert!(ev.seq > last.1, "ties must pop in insertion order");
+                assert!(ev.seq > last.1, "ties must pop in insertion order");
             }
             last = (ev.time, ev.seq);
             popped.push(ev.payload);
         }
         popped.sort_unstable();
-        prop_assert_eq!(popped, (0..times.len()).collect::<Vec<_>>());
+        assert_eq!(popped, (0..times.len()).collect::<Vec<_>>());
     }
+}
 
-    /// Percentile is always one of the inputs and monotone in p.
-    #[test]
-    fn percentile_is_monotone(xs in proptest::collection::vec(0.0f64..1e6, 1..50)) {
+/// Percentile is always one of the inputs and monotone in p.
+#[test]
+fn percentile_is_monotone() {
+    let mut rng = SimRng::seed_from_u64(0xFACE);
+    for _ in 0..256 {
+        let n = 1 + rng.gen_range(49) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| rng.gen_f64() * 1e6).collect();
         let p50 = sim_core::stats::percentile(&xs, 50.0);
         let p90 = sim_core::stats::percentile(&xs, 90.0);
         let p100 = sim_core::stats::percentile(&xs, 100.0);
-        prop_assert!(xs.contains(&p50));
-        prop_assert!(p50 <= p90);
-        prop_assert!(p90 <= p100);
+        assert!(xs.contains(&p50));
+        assert!(p50 <= p90);
+        assert!(p90 <= p100);
         let max = xs.iter().cloned().fold(f64::MIN, f64::max);
-        prop_assert_eq!(p100, max);
+        assert_eq!(p100, max);
+    }
+}
+
+/// `Percentiles` agrees with the one-shot `percentile` helper on every
+/// rank, sorting only once.
+#[test]
+fn percentiles_struct_matches_free_function() {
+    let mut rng = SimRng::seed_from_u64(0x5EED);
+    for _ in 0..128 {
+        let n = 1 + rng.gen_range(60) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| rng.gen_f64() * 1e6).collect();
+        let ps = sim_core::stats::Percentiles::new(xs.clone());
+        for p in [0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 99.9, 100.0] {
+            assert_eq!(ps.p(p), sim_core::stats::percentile(&xs, p), "p={p}");
+        }
+        assert_eq!(ps.p50(), sim_core::stats::percentile(&xs, 50.0));
+        assert_eq!(ps.p95(), sim_core::stats::percentile(&xs, 95.0));
+        assert_eq!(ps.p99(), sim_core::stats::percentile(&xs, 99.0));
+        assert_eq!(ps.len(), xs.len());
     }
 }

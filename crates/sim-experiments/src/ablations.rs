@@ -293,26 +293,59 @@ pub fn gate_ablation(duration: SimDuration) -> GateAblation {
 
 impl std::fmt::Display for BurstAblation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Ablation — prompt (memory-level) charging, Figure-1 burst")?;
+        writeln!(
+            f,
+            "Ablation — prompt (memory-level) charging, Figure-1 burst"
+        )?;
         writeln!(f, "  A before burst:              {:6.1} MB/s", self.before)?;
-        writeln!(f, "  A after, full Split-Token:   {:6.1} MB/s", self.full_after)?;
-        writeln!(f, "  A after, no prompt charging: {:6.1} MB/s", self.no_prompt_after)
+        writeln!(
+            f,
+            "  A after, full Split-Token:   {:6.1} MB/s",
+            self.full_after
+        )?;
+        writeln!(
+            f,
+            "  A after, no prompt charging: {:6.1} MB/s",
+            self.no_prompt_after
+        )
     }
 }
 
 impl std::fmt::Display for TagAblation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Ablation — cause tags (1 MB/s cap on a buffered random writer)")?;
-        writeln!(f, "  B with tags (block-level accounting): {:6.1} MB/s", self.with_tags_b)?;
-        writeln!(f, "  B with tags stripped (submitter):     {:6.1} MB/s", self.without_tags_b)
+        writeln!(
+            f,
+            "Ablation — cause tags (1 MB/s cap on a buffered random writer)"
+        )?;
+        writeln!(
+            f,
+            "  B with tags (block-level accounting): {:6.1} MB/s",
+            self.with_tags_b
+        )?;
+        writeln!(
+            f,
+            "  B with tags stripped (submitter):     {:6.1} MB/s",
+            self.without_tags_b
+        )
     }
 }
 
 impl std::fmt::Display for GateAblation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Ablation — the syscall gate (AFQ, prio 0 vs prio 7 writers)")?;
-        writeln!(f, "  hi/lo share ratio with the gate:    {:5.2}", self.with_gate_ratio)?;
-        writeln!(f, "  hi/lo share ratio without the gate: {:5.2}", self.without_gate_ratio)
+        writeln!(
+            f,
+            "Ablation — the syscall gate (AFQ, prio 0 vs prio 7 writers)"
+        )?;
+        writeln!(
+            f,
+            "  hi/lo share ratio with the gate:    {:5.2}",
+            self.with_gate_ratio
+        )?;
+        writeln!(
+            f,
+            "  hi/lo share ratio without the gate: {:5.2}",
+            self.without_gate_ratio
+        )
     }
 }
 

@@ -1,32 +1,42 @@
 //! Experiment runner: regenerates the paper's tables and figures.
 //!
 //! ```text
-//! runner [--paper] [--csv] [fig01|fig03|fig05|fig06|fig09|fig10|fig11|
-//!         fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|fig20|fig21|
-//!         ablations|all]
+//! runner [--paper] [--csv] [--trace] [fig01|fig03|fig05|fig06|fig09|
+//!         fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|
+//!         fig20|fig21|ablations|breakdown|all]
 //! ```
 //!
 //! `--paper` uses the longer paper-scale configurations; the default
 //! quick profiles finish in seconds each (release build recommended).
 //! `--csv` additionally writes raw per-figure series under `results/`.
+//! `--trace` runs fig12 with span tracing on and writes Chrome
+//! trace-event JSON (open in Perfetto / `chrome://tracing`) under
+//! `results/`. `breakdown` prints the per-layer fsync latency
+//! decomposition table.
 
 use sim_experiments as exp;
 
-/// Write per-figure raw series as CSV files under `results/`.
-fn write_csv(name: &str, content: &str) {
+/// Write a raw artifact (CSV series, Chrome trace) under `results/`.
+fn write_result(name: &str, content: &str) {
     let dir = std::path::Path::new("results");
     if std::fs::create_dir_all(dir).is_ok() {
-        let path = dir.join(format!("{name}.csv"));
+        let path = dir.join(name);
         if std::fs::write(&path, content).is_ok() {
             eprintln!("wrote {}", path.display());
         }
     }
 }
 
+/// Write per-figure raw series as CSV files under `results/`.
+fn write_csv(name: &str, content: &str) {
+    write_result(&format!("{name}.csv"), content);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let paper = args.iter().any(|a| a == "--paper");
     let csv = args.iter().any(|a| a == "--csv");
+    let trace = args.iter().any(|a| a == "--trace");
     let which: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -111,7 +121,14 @@ fn main() {
         } else {
             exp::fig12_fsync_isolation::Config::quick_hdd()
         };
-        let r = exp::fig12_fsync_isolation::run(&cfg);
+        let r = if trace {
+            let (r, [block_json, split_json]) = exp::fig12_fsync_isolation::run_traced(&cfg);
+            write_result("fig12_block_trace.json", &block_json);
+            write_result("fig12_split_trace.json", &split_json);
+            r
+        } else {
+            exp::fig12_fsync_isolation::run(&cfg)
+        };
         println!("{r}\n");
         if csv {
             for (label, s) in [("block", &r.block), ("split", &r.split)] {
@@ -190,9 +207,26 @@ fn main() {
         println!("{}\n", exp::fig20_qemu::run(&cfg));
     }
     if want("ablations") {
-        println!("{}", exp::ablations::burst_ablation(sim_core::SimDuration::from_secs(20)));
-        println!("{}", exp::ablations::tag_ablation(sim_core::SimDuration::from_secs(20)));
-        println!("{}", exp::ablations::gate_ablation(sim_core::SimDuration::from_secs(15)));
+        println!(
+            "{}",
+            exp::ablations::burst_ablation(sim_core::SimDuration::from_secs(20))
+        );
+        println!(
+            "{}",
+            exp::ablations::tag_ablation(sim_core::SimDuration::from_secs(20))
+        );
+        println!(
+            "{}",
+            exp::ablations::gate_ablation(sim_core::SimDuration::from_secs(15))
+        );
+    }
+    if want("breakdown") {
+        let cfg = if paper {
+            exp::breakdown::Config::paper()
+        } else {
+            exp::breakdown::Config::quick()
+        };
+        println!("{}\n", exp::breakdown::run(&cfg));
     }
     if want("fig21") {
         let cfg = if paper {

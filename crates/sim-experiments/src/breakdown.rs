@@ -1,0 +1,237 @@
+//! `runner breakdown` — where does an fsync's latency go?
+//!
+//! Runs the Figure 12 contention workload (A: small log appends +
+//! fsync; B: large random checkpoints + fsync) with span tracing on,
+//! then decomposes every completed fsync into per-layer components
+//! using the span tree (see [`sim_trace::breakdown`]). This is the
+//! paper's Figure 5 dependency argument as a table: under a
+//! block-level scheduler most of A's fsync time is data flushing and
+//! journal entanglement it did not cause; Split-Deadline moves that
+//! work out of the foreground path.
+//!
+//! The components tile each fsync's `[enter, complete]` interval by
+//! construction, so the table always sums to the end-to-end latency.
+
+use sim_core::{SimDuration, SimTime};
+use sim_kernel::{Outcome, ProcAction, ProcessLogic};
+use sim_trace::breakdown::{FSYNC_COMPONENTS, FSYNC_COMPONENT_LAYERS};
+use sim_trace::{fsync_breakdown, layer_totals, FsyncBreakdown, Layer};
+use sim_workloads::{BatchRandFsyncer, FsyncAppender};
+use split_core::SchedAttr;
+
+use crate::setup::{build_world, DeviceChoice, SchedChoice, Setup};
+use crate::table::Table;
+use crate::{GB, KB, MB};
+
+/// Configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Simulated run time.
+    pub duration: SimDuration,
+    /// When B's checkpoints start.
+    pub b_start: SimDuration,
+    /// Blocks per B batch.
+    pub b_blocks: u64,
+    /// Device.
+    pub device: DeviceChoice,
+}
+
+impl Config {
+    /// Quick profile (seconds of simulated time).
+    pub fn quick() -> Self {
+        Config {
+            duration: SimDuration::from_secs(20),
+            b_start: SimDuration::from_secs(5),
+            b_blocks: 1024,
+            device: DeviceChoice::Hdd,
+        }
+    }
+
+    /// Paper-scale profile.
+    pub fn paper() -> Self {
+        Config {
+            duration: SimDuration::from_secs(60),
+            ..Self::quick()
+        }
+    }
+}
+
+/// A delayed-start wrapper (same as fig12's).
+struct DelayedStart<L> {
+    start: SimTime,
+    started: bool,
+    inner: L,
+}
+
+impl<L: ProcessLogic> ProcessLogic for DelayedStart<L> {
+    fn next(&mut self, now: SimTime, last: &Outcome) -> ProcAction {
+        if !self.started {
+            self.started = true;
+            return ProcAction::Sleep(self.start.since(now));
+        }
+        self.inner.next(now, last)
+    }
+}
+
+/// One scheduler's decomposition.
+#[derive(Debug, Clone)]
+pub struct SchedBreakdown {
+    /// Scheduler name.
+    pub sched: &'static str,
+    /// Aggregated fsync decomposition (all fsyncs, A and B).
+    pub fsync: FsyncBreakdown,
+    /// Total closed-span time per layer (activity profile).
+    pub layers: [(Layer, f64); 7],
+}
+
+/// Full result: one decomposition per scheduler.
+#[derive(Debug, Clone)]
+pub struct BreakdownResult {
+    /// Per-scheduler rows.
+    pub rows: Vec<SchedBreakdown>,
+    /// Config used.
+    pub cfg: Config,
+}
+
+fn run_one(cfg: &Config, sched: SchedChoice) -> SchedBreakdown {
+    let setup = Setup {
+        device: cfg.device,
+        ..Setup::new(sched)
+    };
+    let (mut w, k) = build_world(setup);
+    w.enable_tracing(k);
+    let a_file = w.prealloc_file(k, 256 * MB, true);
+    let b_file = w.prealloc_file(k, GB, true);
+    let a = w.spawn(
+        k,
+        Box::new(FsyncAppender::new(
+            a_file,
+            4 * KB,
+            SimDuration::from_millis(20),
+        )),
+    );
+    let b = w.spawn(
+        k,
+        Box::new(DelayedStart {
+            start: SimTime::ZERO + cfg.b_start,
+            started: false,
+            inner: BatchRandFsyncer::new(
+                b_file,
+                GB,
+                cfg.b_blocks,
+                SimDuration::from_millis(100),
+                0xb12,
+            ),
+        }),
+    );
+    match sched {
+        SchedChoice::SplitDeadline => {
+            w.configure(
+                k,
+                a,
+                SchedAttr::FsyncDeadline(SimDuration::from_millis(100)),
+            );
+            w.configure(
+                k,
+                b,
+                SchedAttr::FsyncDeadline(SimDuration::from_millis(400)),
+            );
+        }
+        _ => {
+            for pid in [a, b] {
+                w.configure(
+                    k,
+                    pid,
+                    SchedAttr::WriteDeadline(SimDuration::from_millis(20)),
+                );
+            }
+        }
+    }
+    w.run_for(cfg.duration);
+    let spans = w.tracer(k).spans();
+    SchedBreakdown {
+        sched: sched.name(),
+        fsync: fsync_breakdown(&spans),
+        layers: layer_totals(&spans),
+    }
+}
+
+/// Run the decomposition under Block-Deadline and Split-Deadline.
+pub fn run(cfg: &Config) -> BreakdownResult {
+    BreakdownResult {
+        rows: vec![
+            run_one(cfg, SchedChoice::BlockDeadlineWith(20, 20)),
+            run_one(cfg, SchedChoice::SplitDeadline),
+        ],
+        cfg: *cfg,
+    }
+}
+
+impl std::fmt::Display for BreakdownResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "fsync latency breakdown ({:?}, B: {} random blocks + fsync)",
+            self.cfg.device, self.cfg.b_blocks
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "\n{} — {} fsyncs, mean {:.2} ms end-to-end:",
+                row.sched,
+                row.fsync.count,
+                row.fsync.mean_ms()
+            )?;
+            let mut t = Table::new(["component", "layer", "total ms", "mean ms", "share"]);
+            let total = row.fsync.total_ms.max(f64::MIN_POSITIVE);
+            let n = row.fsync.count.max(1) as f64;
+            for (i, name) in FSYNC_COMPONENTS.iter().enumerate() {
+                let ms = row.fsync.components[i];
+                t.row([
+                    name.to_string(),
+                    FSYNC_COMPONENT_LAYERS[i].name().to_string(),
+                    format!("{ms:.2}"),
+                    format!("{:.3}", ms / n),
+                    format!("{:.1}%", 100.0 * ms / total),
+                ]);
+            }
+            t.row([
+                "= end-to-end".to_string(),
+                String::new(),
+                format!("{:.2}", row.fsync.components_sum_ms()),
+                format!("{:.3}", row.fsync.mean_ms()),
+                "100.0%".to_string(),
+            ]);
+            write!(f, "{}", t.render())?;
+            writeln!(f, "\nper-layer span activity (overlapping, ms):")?;
+            let mut lt = Table::new(["layer", "total ms"]);
+            for (layer, ms) in row.layers {
+                lt.row([layer.name().to_string(), format!("{ms:.2}")]);
+            }
+            write!(f, "{}", lt.render())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_sum_to_end_to_end() {
+        let mut cfg = Config::quick();
+        cfg.duration = SimDuration::from_secs(8);
+        let r = run(&cfg);
+        for row in &r.rows {
+            assert!(row.fsync.count > 0, "{}: no fsyncs decomposed", row.sched);
+            let sum = row.fsync.components_sum_ms();
+            let total = row.fsync.total_ms;
+            assert!(
+                (sum - total).abs() <= 0.05 * total,
+                "{}: components {sum} vs end-to-end {total}",
+                row.sched
+            );
+        }
+    }
+}

@@ -171,7 +171,11 @@ mod tests {
     fn cfq_idle_class_cannot_contain_the_burst_but_split_token_can() {
         let r = run(&Config::quick());
         // A streams near device bandwidth before the burst in both runs.
-        assert!(r.cfq_idle.before > 80.0, "cfq before: {}", r.cfq_idle.before);
+        assert!(
+            r.cfq_idle.before > 80.0,
+            "cfq before: {}",
+            r.cfq_idle.before
+        );
         assert!(
             r.split_token.before > 80.0,
             "split before: {}",

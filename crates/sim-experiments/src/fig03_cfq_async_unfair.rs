@@ -126,7 +126,11 @@ impl std::fmt::Display for FigResult {
             ]);
         }
         writeln!(f, "{}", t.render())?;
-        writeln!(f, "mean deviation from goal: {:.0}%", self.deviation * 100.0)
+        writeln!(
+            f,
+            "mean deviation from goal: {:.0}%",
+            self.deviation * 100.0
+        )
     }
 }
 

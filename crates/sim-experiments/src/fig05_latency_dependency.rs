@@ -72,7 +72,11 @@ pub fn run_point(cfg: &Config, nblocks: u64, sched: SchedChoice) -> Point {
     let b_file = w.prealloc_file(k, cfg.b_file, true);
     let a = w.spawn(
         k,
-        Box::new(FsyncAppender::new(a_file, 4 * KB, SimDuration::from_millis(5))),
+        Box::new(FsyncAppender::new(
+            a_file,
+            4 * KB,
+            SimDuration::from_millis(5),
+        )),
     );
     let _b = w.spawn(
         k,
@@ -142,7 +146,11 @@ mod tests {
     #[test]
     fn a_latency_grows_with_b_flush_size() {
         let cfg = Config::quick();
-        let small = run_point(&cfg, cfg.b_blocks[0], SchedChoice::BlockDeadlineWith(20, 20));
+        let small = run_point(
+            &cfg,
+            cfg.b_blocks[0],
+            SchedChoice::BlockDeadlineWith(20, 20),
+        );
         let large = run_point(
             &cfg,
             *cfg.b_blocks.last().unwrap(),

@@ -83,7 +83,13 @@ pub struct FigResult {
 }
 
 /// Run one point.
-pub fn run_point(cfg: &Config, sched: SchedChoice, fs: FsChoice, run: u64, b_writes: bool) -> Point {
+pub fn run_point(
+    cfg: &Config,
+    sched: SchedChoice,
+    fs: FsChoice,
+    run: u64,
+    b_writes: bool,
+) -> Point {
     let setup = match fs {
         FsChoice::Ext4 => Setup::new(sched),
         FsChoice::Xfs => Setup::new(sched).on_xfs(),
@@ -95,7 +101,7 @@ pub fn run_point(cfg: &Config, sched: SchedChoice, fs: FsChoice, run: u64, b_wri
     let a = w.spawn(k, Box::new(SeqReader::new(a_file, cfg.a_file, MB)));
     let b: Pid = w.spawn(
         k,
-        Box::new(RunPattern::new(b_file, cfg.b_file, run, b_writes, 0xbEE)),
+        Box::new(RunPattern::new(b_file, cfg.b_file, run, b_writes, 0xBEE)),
     );
     w.configure(k, b, SchedAttr::TokenRate(cfg.b_rate));
     w.run_for(cfg.duration);

@@ -90,7 +90,10 @@ pub fn run(cfg: &Config) -> FigResult {
 
 impl std::fmt::Display for FigResult {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Figure 9 — framework time overhead (no-op vs no-op, SSD)")?;
+        writeln!(
+            f,
+            "Figure 9 — framework time overhead (no-op vs no-op, SSD)"
+        )?;
         let mut t = Table::new(["threads", "block-noop MB/s", "split-noop MB/s", "delta %"]);
         for p in &self.points {
             let delta = (p.split_mbps - p.block_mbps) / p.block_mbps * 100.0;

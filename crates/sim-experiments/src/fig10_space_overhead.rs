@@ -118,10 +118,7 @@ mod tests {
         // reports 0.2–0.6%).
         for p in &r.points {
             assert!(p.max_bytes > 0, "tags must exist: {p:?}");
-            assert!(
-                p.max_pct_of_ram < 1.0,
-                "tag overhead must stay tiny: {p:?}"
-            );
+            assert!(p.max_pct_of_ram < 1.0, "tag overhead must stay tiny: {p:?}");
         }
         // More buffering → more live tags.
         let first = r.points.first().unwrap();

@@ -182,7 +182,14 @@ impl std::fmt::Display for FigResult {
         writeln!(f, "Figure 11 — AFQ vs CFQ priority shares (goal ∝ weight)")?;
         let goal = goal_shares();
         let mut t = Table::new([
-            "panel", "sched", "p0 %", "p2 %", "p4 %", "p7 %", "dev %", "total MB/s",
+            "panel",
+            "sched",
+            "p0 %",
+            "p2 %",
+            "p4 %",
+            "p7 %",
+            "dev %",
+            "total MB/s",
         ]);
         t.row([
             "goal".to_string(),

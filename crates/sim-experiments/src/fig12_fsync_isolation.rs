@@ -124,23 +124,40 @@ pub struct FigResult {
 }
 
 fn run_one(cfg: &Config, sched: SchedChoice) -> Series {
+    run_one_inner(cfg, sched, false).0
+}
+
+fn run_one_inner(cfg: &Config, sched: SchedChoice, trace: bool) -> (Series, Option<String>) {
     let setup = Setup {
         device: cfg.device,
         ..Setup::new(sched)
     };
     let (mut w, k) = build_world(setup);
+    if trace {
+        w.enable_tracing(k);
+    }
     let a_file = w.prealloc_file(k, 256 * crate::MB, true);
     let b_file = w.prealloc_file(k, GB, true);
     let a = w.spawn(
         k,
-        Box::new(FsyncAppender::new(a_file, 4 * KB, SimDuration::from_millis(20))),
+        Box::new(FsyncAppender::new(
+            a_file,
+            4 * KB,
+            SimDuration::from_millis(20),
+        )),
     );
     let b = w.spawn(
         k,
         Box::new(DelayedStart {
             start: SimTime::ZERO + cfg.b_start,
             started: false,
-            inner: BatchRandFsyncer::new(b_file, GB, cfg.b_blocks, SimDuration::from_millis(100), 0xb12),
+            inner: BatchRandFsyncer::new(
+                b_file,
+                GB,
+                cfg.b_blocks,
+                SimDuration::from_millis(100),
+                0xb12,
+            ),
         }),
     );
     match sched {
@@ -174,13 +191,16 @@ fn run_one(cfg: &Config, sched: SchedChoice) -> Series {
         .filter(|(t, _)| *t > b_start_s + 1.0)
         .map(|(_, d)| *d)
         .collect();
-    Series {
+    let during_pcts = sim_core::stats::Percentiles::new(during);
+    let series = Series {
         sched: sched.name(),
         a_before_ms: sim_core::stats::mean(&before),
-        a_during_p95_ms: sim_core::stats::percentile(&during, 95.0),
+        a_during_p95_ms: during_pcts.p95(),
         a_latencies,
         b_fsyncs: b_st.map(|s| s.fsyncs.len()).unwrap_or(0),
-    }
+    };
+    let json = trace.then(|| w.tracer(k).chrome_json());
+    (series, json)
 }
 
 /// Run the experiment on the configured device.
@@ -190,6 +210,21 @@ pub fn run(cfg: &Config) -> FigResult {
         split: run_one(cfg, SchedChoice::SplitDeadline),
         cfg: *cfg,
     }
+}
+
+/// Like [`run`], but with span tracing on; also returns the Chrome
+/// trace-event JSON for each scheduler's run (block, then split).
+pub fn run_traced(cfg: &Config) -> (FigResult, [String; 2]) {
+    let (block, bj) = run_one_inner(cfg, SchedChoice::BlockDeadlineWith(20, 20), true);
+    let (split, sj) = run_one_inner(cfg, SchedChoice::SplitDeadline, true);
+    (
+        FigResult {
+            block,
+            split,
+            cfg: *cfg,
+        },
+        [bj.expect("traced"), sj.expect("traced")],
+    )
 }
 
 impl std::fmt::Display for FigResult {

@@ -271,7 +271,11 @@ mod tests {
         let cfg = Config::quick();
         let scs = run_point(&cfg, SchedChoice::ScsToken, BWorkload::ReadMem);
         let split = run_point(&cfg, SchedChoice::SplitToken, BWorkload::ReadMem);
-        assert!(scs.b_mbps > 100.0, "SCS cached reads are free: {}", scs.b_mbps);
+        assert!(
+            scs.b_mbps > 100.0,
+            "SCS cached reads are free: {}",
+            scs.b_mbps
+        );
         // Split skips the per-read scheduler logic entirely.
         assert!(
             split.b_mbps > 1.2 * scs.b_mbps,

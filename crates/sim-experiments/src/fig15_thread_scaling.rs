@@ -170,7 +170,10 @@ pub fn run(cfg: &Config) -> FigResult {
 
 impl std::fmt::Display for FigResult {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Figure 15 — A's throughput vs B's thread count (Split-Token)")?;
+        writeln!(
+            f,
+            "Figure 15 — A's throughput vs B's thread count (Split-Token)"
+        )?;
         let mut t = Table::new(["B activity", "B threads", "A MB/s"]);
         for p in &self.points {
             t.row([

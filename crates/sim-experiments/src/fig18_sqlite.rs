@@ -84,17 +84,34 @@ pub fn run_point(cfg: &Config, sched: SchedChoice, threshold: u64) -> Point {
     };
     let worker = w.spawn(
         k,
-        Box::new(TxnWorker::new(db_cfg, shared.clone(), db_file, wal_file, 0x51)),
+        Box::new(TxnWorker::new(
+            db_cfg,
+            shared.clone(),
+            db_file,
+            wal_file,
+            0x51,
+        )),
     );
-    let cp = w.spawn(k, Box::new(Checkpointer::new(db_cfg, shared.clone(), db_file)));
+    let cp = w.spawn(
+        k,
+        Box::new(Checkpointer::new(db_cfg, shared.clone(), db_file)),
+    );
     if sched == SchedChoice::SplitDeadline {
         // Short deadline for WAL fsyncs (the worker), long for database
         // fsyncs (the checkpointer) — §7.1.1's settings.
-        w.configure(k, worker, SchedAttr::FsyncDeadline(SimDuration::from_millis(100)));
+        w.configure(
+            k,
+            worker,
+            SchedAttr::FsyncDeadline(SimDuration::from_millis(100)),
+        );
         w.configure(k, cp, SchedAttr::FsyncDeadline(SimDuration::from_secs(10)));
     } else {
         for pid in [worker, cp] {
-            w.configure(k, pid, SchedAttr::WriteDeadline(SimDuration::from_millis(500)));
+            w.configure(
+                k,
+                pid,
+                SchedAttr::WriteDeadline(SimDuration::from_millis(500)),
+            );
         }
     }
     w.run_for(cfg.duration);
@@ -106,11 +123,12 @@ pub fn run_point(cfg: &Config, sched: SchedChoice, threshold: u64) -> Point {
         .filter(|(t, _)| *t > warmup)
         .map(|(_, d)| d.as_millis_f64())
         .collect();
+    let pcts = sim_core::stats::Percentiles::from_slice(&lat_ms);
     Point {
         threshold,
-        p99_ms: sim_core::stats::percentile(&lat_ms, 99.0),
-        p999_ms: sim_core::stats::percentile(&lat_ms, 99.9),
-        p50_ms: sim_core::stats::percentile(&lat_ms, 50.0),
+        p99_ms: pcts.p99(),
+        p999_ms: pcts.p(99.9),
+        p50_ms: pcts.p50(),
         txns: lat_ms.len(),
         checkpoints: sh.checkpoints,
     }

@@ -116,19 +116,35 @@ fn run_one(cfg: &Config, sched: SchedChoice) -> Series {
             // §7.1.2's settings: 5 ms foreground fsync deadline, 200 ms
             // background checkpoint deadline, 5 ms block reads.
             for pid in &workers {
-                w.configure(k, *pid, SchedAttr::FsyncDeadline(SimDuration::from_millis(5)));
+                w.configure(
+                    k,
+                    *pid,
+                    SchedAttr::FsyncDeadline(SimDuration::from_millis(5)),
+                );
             }
-            w.configure(k, cp, SchedAttr::FsyncDeadline(SimDuration::from_millis(200)));
+            w.configure(
+                k,
+                cp,
+                SchedAttr::FsyncDeadline(SimDuration::from_millis(200)),
+            );
         }
         _ => {
             for pid in workers.iter().chain(std::iter::once(&cp)) {
-                w.configure(k, *pid, SchedAttr::WriteDeadline(SimDuration::from_millis(5)));
+                w.configure(
+                    k,
+                    *pid,
+                    SchedAttr::WriteDeadline(SimDuration::from_millis(5)),
+                );
             }
         }
     }
     // Block reads carry a 5 ms deadline in all systems.
     for pid in &workers {
-        w.configure(k, *pid, SchedAttr::ReadDeadline(SimDuration::from_millis(5)));
+        w.configure(
+            k,
+            *pid,
+            SchedAttr::ReadDeadline(SimDuration::from_millis(5)),
+        );
     }
     w.run_for(cfg.duration);
     let sh = shared.borrow();
@@ -140,11 +156,12 @@ fn run_one(cfg: &Config, sched: SchedChoice) -> Series {
         .map(|(_, d)| d.as_millis_f64())
         .collect();
     let n = lat_ms.len().max(1) as f64;
+    let pcts = sim_core::stats::Percentiles::from_slice(&lat_ms);
     Series {
         sched: sched.name(),
-        p50_ms: sim_core::stats::percentile(&lat_ms, 50.0),
-        p99_ms: sim_core::stats::percentile(&lat_ms, 99.0),
-        p999_ms: sim_core::stats::percentile(&lat_ms, 99.9),
+        p50_ms: pcts.p50(),
+        p99_ms: pcts.p99(),
+        p999_ms: pcts.p(99.9),
         max_ms: lat_ms.iter().cloned().fold(0.0, f64::max),
         miss_pct: lat_ms.iter().filter(|&&l| l > cfg.target_ms).count() as f64 / n * 100.0,
         over_100ms_pct: lat_ms.iter().filter(|&&l| l > 100.0).count() as f64 / n * 100.0,

@@ -8,7 +8,7 @@
 //! workloads — the buffering layer position is what matters (§7.2).
 
 use sim_apps::vmm::{launch_guest, GuestConfig};
-use sim_core::{SimDuration};
+use sim_core::SimDuration;
 use sim_workloads::{MemOverwriter, RandReader, SeqReader};
 use split_core::SchedAttr;
 
@@ -97,7 +97,10 @@ pub fn run_point(cfg: &Config, host_sched: SchedChoice, wl: GuestWorkload) -> Po
     let b = match wl {
         GuestWorkload::ReadRand => {
             let f = w.prealloc_file(gb.kernel, 2 * GB, false);
-            w.spawn(gb.kernel, Box::new(RandReader::new(f, 2 * GB, 4 * KB, 0x20)))
+            w.spawn(
+                gb.kernel,
+                Box::new(RandReader::new(f, 2 * GB, 4 * KB, 0x20)),
+            )
         }
         GuestWorkload::ReadSeq => {
             let f = w.prealloc_file(gb.kernel, 2 * GB, true);
@@ -117,7 +120,13 @@ pub fn run_point(cfg: &Config, host_sched: SchedChoice, wl: GuestWorkload) -> Po
         b_mbps: {
             let st = w.kernel(gb.kernel).stats.proc(b);
             let bytes = st
-                .map(|s| if wl == GuestWorkload::WriteMem { s.write_bytes } else { s.read_bytes })
+                .map(|s| {
+                    if wl == GuestWorkload::WriteMem {
+                        s.write_bytes
+                    } else {
+                        s.read_bytes
+                    }
+                })
                 .unwrap_or(0);
             bytes as f64 / 1e6 / cfg.duration.as_secs_f64()
         },
@@ -190,7 +199,11 @@ mod tests {
         let scs = run_point(&cfg, SchedChoice::ScsToken, GuestWorkload::WriteMem);
         let split = run_point(&cfg, SchedChoice::SplitToken, GuestWorkload::WriteMem);
         assert!(scs.b_mbps > 50.0, "scs write-mem in VM: {}", scs.b_mbps);
-        assert!(split.b_mbps > 50.0, "split write-mem in VM: {}", split.b_mbps);
+        assert!(
+            split.b_mbps > 50.0,
+            "split write-mem in VM: {}",
+            split.b_mbps
+        );
         let ratio = split.b_mbps / scs.b_mbps;
         assert!(
             (0.3..3.0).contains(&ratio),

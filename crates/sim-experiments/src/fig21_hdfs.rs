@@ -124,13 +124,21 @@ pub fn run(cfg: &Config) -> FigResult {
 
 impl std::fmt::Display for FigResult {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Figure 21 — HDFS isolation (Split-Token on every worker)")?;
+        writeln!(
+            f,
+            "Figure 21 — HDFS isolation (Split-Token on every worker)"
+        )?;
         for (label, series) in [
             ("large blocks", &self.large_blocks),
             ("blocks/4", &self.small_blocks),
         ] {
             writeln!(f, "[{label}]")?;
-            let mut t = Table::new(["cap MB/s", "throttled MB/s", "bound MB/s", "unthrottled MB/s"]);
+            let mut t = Table::new([
+                "cap MB/s",
+                "throttled MB/s",
+                "bound MB/s",
+                "unthrottled MB/s",
+            ]);
             for p in series {
                 t.row([
                     f1(p.cap_mbps),

@@ -10,6 +10,7 @@
 //! EXPERIMENTS.md for the figure-by-figure comparison.
 
 pub mod ablations;
+pub mod breakdown;
 pub mod fig01_write_burst;
 pub mod fig03_cfq_async_unfair;
 pub mod fig05_latency_dependency;

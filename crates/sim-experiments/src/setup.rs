@@ -5,8 +5,8 @@ use sim_block::{BlockDeadline, Cfq, DeadlineConfig, Noop};
 use sim_cache::CacheConfig;
 use sim_core::KernelId;
 use sim_device::{HddModel, SsdModel};
-use sim_kernel::{DeviceKind, KernelConfig, World};
 pub use sim_kernel::FsChoice;
+use sim_kernel::{DeviceKind, KernelConfig, World};
 use split_core::{BlockOnly, IoSched};
 use split_schedulers::{Afq, ScsToken, SplitDeadline, SplitNoop, SplitToken};
 

@@ -1,0 +1,235 @@
+//! Cross-layer tracing integration: run a real contention workload
+//! (small log appends + fsync vs. large random checkpoints, the Figure
+//! 12 shape) with span tracing enabled and check the whole
+//! observability pipeline end to end — span-tree integrity, the Chrome
+//! exporter, cause-tag round-tripping, the latency decomposition, and
+//! that tracing is pure observation (it never perturbs the simulation).
+
+use sim_core::{KernelId, Pid};
+use sim_core::{SimDuration, SimTime};
+use sim_experiments::{build_world, SchedChoice, Setup, KB, MB};
+use sim_kernel::World;
+use sim_trace::{fsync_breakdown, Layer};
+use sim_workloads::{BatchRandFsyncer, FsyncAppender};
+use split_core::SchedAttr;
+
+/// Figure-12-shaped world: A appends and fsyncs, B checkpoints.
+fn contention_world(trace: bool) -> (World, KernelId, Pid, Pid) {
+    let (mut w, k) = build_world(Setup::new(SchedChoice::SplitDeadline));
+    if trace {
+        w.enable_tracing(k);
+    }
+    let a_file = w.prealloc_file(k, 64 * MB, true);
+    let b_file = w.prealloc_file(k, 256 * MB, true);
+    let a = w.spawn(
+        k,
+        Box::new(FsyncAppender::new(
+            a_file,
+            4 * KB,
+            SimDuration::from_millis(20),
+        )),
+    );
+    let b = w.spawn(
+        k,
+        Box::new(BatchRandFsyncer::new(
+            b_file,
+            256 * MB,
+            512,
+            SimDuration::from_millis(100),
+            0xb12,
+        )),
+    );
+    w.configure(
+        k,
+        a,
+        SchedAttr::FsyncDeadline(SimDuration::from_millis(100)),
+    );
+    w.configure(
+        k,
+        b,
+        SchedAttr::FsyncDeadline(SimDuration::from_millis(400)),
+    );
+    w.run_for(SimDuration::from_secs(8));
+    (w, k, a, b)
+}
+
+#[test]
+fn spans_cover_at_least_four_layers() {
+    let (w, k, _, _) = contention_world(true);
+    let spans = w.tracer(k).spans();
+    assert!(
+        spans.len() > 100,
+        "expected a real trace, got {}",
+        spans.len()
+    );
+    let mut layers: Vec<Layer> = spans.iter().map(|s| s.layer).collect();
+    layers.sort_by_key(|l| l.name());
+    layers.dedup();
+    assert!(
+        layers.len() >= 4,
+        "spans must come from >= 4 layers, got {layers:?}"
+    );
+}
+
+#[test]
+fn span_tree_parent_child_integrity() {
+    let (w, k, _, _) = contention_world(true);
+    let spans = w.tracer(k).spans();
+    // Span ids are dense and 1-based: spans[i].id == i + 1.
+    for (i, s) in spans.iter().enumerate() {
+        assert_eq!(s.id.raw(), i as u64 + 1, "dense ids");
+    }
+    for s in &spans {
+        if s.parent.is_none() {
+            continue;
+        }
+        let p = &spans[(s.parent.raw() - 1) as usize];
+        assert!(
+            p.start <= s.start,
+            "child {:?}/{} starts before its parent {:?}/{}",
+            s.layer,
+            s.name,
+            p.layer,
+            p.name
+        );
+        // A parent never crosses layers upward past the syscall root.
+        assert_ne!(p.id, s.id, "no self-parenting");
+    }
+    // The cross-layer links actually exist: some block-layer queue span
+    // must be parented to a higher-layer span.
+    assert!(
+        spans.iter().any(|s| s.layer == Layer::Block
+            && !s.parent.is_none()
+            && spans[(s.parent.raw() - 1) as usize].layer != Layer::Block),
+        "queue spans must link up into syscall/journal/writeback spans"
+    );
+}
+
+#[test]
+fn chrome_export_is_valid_json_with_monotone_timestamps() {
+    let (w, k, _, _) = contention_world(true);
+    let json = w.tracer(k).chrome_json();
+    sim_trace::json::validate(&json).expect("chrome export must be well-formed JSON");
+    // Events are emitted sorted by timestamp: scan the "ts": values in
+    // document order and check they never go backwards.
+    let mut last = f64::MIN;
+    let mut seen = 0usize;
+    for chunk in json.split("\"ts\":").skip(1) {
+        let end = chunk.find(',').expect("ts field is comma-terminated");
+        let ts: f64 = chunk[..end].parse().expect("ts parses as a number");
+        assert!(ts >= last, "timestamps must be monotone: {ts} after {last}");
+        last = ts;
+        seen += 1;
+    }
+    assert!(seen > 100, "expected many events, saw {seen}");
+}
+
+#[test]
+fn causes_round_trip_through_chrome_args() {
+    let (w, k, _, _) = contention_world(true);
+    let spans = w.tracer(k).spans();
+    // Journal commits under contention carry multiple processes' causes
+    // (entanglement); check at least one such span exists and that its
+    // cause set survives verbatim into the Chrome args.
+    let entangled = spans
+        .iter()
+        .filter(|s| s.end.is_some() && s.causes.iter().count() >= 2)
+        .max_by_key(|s| s.causes.iter().count())
+        .expect("contention must produce a multi-cause span");
+    let tag: Vec<String> = entangled
+        .causes
+        .iter()
+        .map(|p| p.raw().to_string())
+        .collect();
+    let needle = format!("\"causes\":\"{}\"", tag.join("|"));
+    let json = w.tracer(k).chrome_json();
+    assert!(
+        json.contains(&needle),
+        "chrome args must carry the cause tag {needle}"
+    );
+}
+
+#[test]
+fn breakdown_components_sum_to_end_to_end() {
+    let (w, k, _, _) = contention_world(true);
+    let b = fsync_breakdown(&w.tracer(k).spans());
+    assert!(
+        b.count > 10,
+        "expected many completed fsyncs, got {}",
+        b.count
+    );
+    let sum = b.components_sum_ms();
+    assert!(
+        (sum - b.total_ms).abs() <= 0.05 * b.total_ms,
+        "components {sum} ms must sum to end-to-end {} ms",
+        b.total_ms
+    );
+}
+
+#[test]
+fn tracing_is_pure_observation() {
+    // The same workload with tracing on and off must produce bit-equal
+    // simulated outcomes — instrumentation can observe but not perturb.
+    let sample = |traced: bool| -> Vec<(u64, u64)> {
+        let (w, k, a, _) = contention_world(traced);
+        let st = w.kernel(k).stats.proc(a).expect("A ran");
+        st.fsyncs
+            .iter()
+            .map(|(t, d)| (t.as_nanos(), d.as_nanos()))
+            .collect()
+    };
+    let traced = sample(true);
+    let plain = sample(false);
+    assert!(!traced.is_empty());
+    assert_eq!(traced, plain, "tracing must not change simulated behavior");
+}
+
+#[test]
+fn metrics_registry_populates_across_layers() {
+    let (w, k, _, _) = contention_world(true);
+    w.tracer(k).with_registry(|reg| {
+        for counter in ["syscall.fsync", "block.submitted", "journal.commits"] {
+            assert!(reg.counter(counter) > 0, "counter {counter} must tick");
+        }
+        assert!(
+            reg.gauges()
+                .any(|(name, _)| name.starts_with("sched.tokens") || name == "block.queue_depth"),
+            "gauge series must be recorded"
+        );
+    });
+}
+
+#[test]
+fn fsync_latency_histogram_matches_sample_count() {
+    let (w, k, a, b) = contention_world(true);
+    let fsyncs_done = [a, b]
+        .iter()
+        .filter_map(|&p| w.kernel(k).stats.proc(p))
+        .map(|s| s.fsyncs.len() as u64)
+        .sum::<u64>();
+    let hist_count = w
+        .tracer(k)
+        .with_registry(|reg| reg.histogram("syscall.fsync_ms").map(|h| h.count()));
+    assert_eq!(
+        hist_count,
+        Some(fsyncs_done),
+        "every fsync must be observed"
+    );
+}
+
+#[test]
+fn time_is_simulated_not_wall_clock() {
+    // A quick sanity check that the clock driving spans is SimTime: the
+    // last span cannot end after the world's final simulated instant.
+    let (w, k, _, _) = contention_world(true);
+    let horizon = w.now();
+    for s in w.tracer(k).spans() {
+        if let Some(end) = s.end {
+            assert!(
+                end <= horizon,
+                "span ends at {end:?} past horizon {horizon:?}"
+            );
+        }
+        assert!(s.start >= SimTime::ZERO);
+    }
+}

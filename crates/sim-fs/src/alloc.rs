@@ -60,7 +60,9 @@ impl Allocator {
             let (cursor, end) = match self.reservations.get(&file) {
                 Some(&(c, e)) if c < e => (c, e),
                 _ => {
-                    let size = self.reservation_blocks.max(nblocks.min(self.reservation_blocks * 4));
+                    let size = self
+                        .reservation_blocks
+                        .max(nblocks.min(self.reservation_blocks * 4));
                     let start = self.grab(size);
                     (start, start + size)
                 }
@@ -170,7 +172,11 @@ impl ExtentMap {
 
     /// Whether every page of `[page, page+len)` is allocated.
     pub fn fully_allocated(&self, page: u64, len: u64) -> bool {
-        self.extents_for(page, len).iter().map(|e| e.len).sum::<u64>() == len
+        self.extents_for(page, len)
+            .iter()
+            .map(|e| e.len)
+            .sum::<u64>()
+            == len
     }
 }
 

@@ -17,6 +17,7 @@ use sim_block::ReqKind;
 use sim_cache::PageCache;
 use sim_core::{BlockNo, CauseSet, FileId, IdAlloc, Pid, SimDuration, SimRng, SimTime, TxnId};
 use sim_device::IoDir;
+use sim_trace::{Layer, SpanId, Tracer};
 use split_core::ProxyRegistry;
 
 use crate::alloc::{Allocator, Extent, ExtentMap};
@@ -101,6 +102,10 @@ struct FsyncState {
     pending_data: HashSet<IoToken>,
     wait_txn: Option<TxnId>,
     done: bool,
+    /// Span covering the data flush this fsync waits for.
+    data_span: SpanId,
+    /// Span covering the wait for the journal commit.
+    txn_span: SpanId,
 }
 
 #[derive(Debug, PartialEq)]
@@ -115,12 +120,14 @@ struct Commit {
     txn: CommitTxn,
     phase: CommitPhase,
     pending: HashSet<IoToken>,
+    span: SpanId,
 }
 
 #[derive(Debug)]
 struct WbPass {
     pending: HashSet<IoToken>,
     pages: u64,
+    span: SpanId,
 }
 
 /// The journaling file system.
@@ -145,6 +152,7 @@ pub struct JournaledFs {
     writeback_pid: Pid,
     meta_zone_rng: SimRng,
     last_timer: SimTime,
+    tracer: Tracer,
 }
 
 /// ext4 preset.
@@ -186,7 +194,14 @@ impl JournaledFs {
             writeback_pid,
             meta_zone_rng: SimRng::seed_from_u64(cfg.seed ^ 0x6d65_7461),
             last_timer: SimTime::ZERO,
+            tracer: Tracer::new(),
         }
+    }
+
+    /// Share the kernel's tracer so journal/writeback activity lands in
+    /// the same span tree as the syscalls that caused it.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// ext4 with full split integration.
@@ -266,10 +281,12 @@ impl JournaledFs {
                         page += len;
                     }
                 }
-                self.journal
-                    .join(MetaKey::Inode(file), &range.causes, now);
-                self.journal
-                    .join(MetaKey::Bitmap((file.raw() % 16) as u32), &range.causes, now);
+                self.journal.join(MetaKey::Inode(file), &range.causes, now);
+                self.journal.join(
+                    MetaKey::Bitmap((file.raw() % 16) as u32),
+                    &range.causes,
+                    now,
+                );
             }
             // Emit one I/O per physical extent backing the range, capped
             // at 256 blocks (1 MB) per request as Linux caps bio sizes —
@@ -315,6 +332,16 @@ impl JournaledFs {
         let txn = self.journal.seal();
         // The journal task acts as a proxy for everyone in the txn.
         self.proxies.mark(self.journal_pid, &txn.causes);
+        // The commit span belongs to the journal task but carries the
+        // entangled causes — that is the Figure 4/5 story in one span.
+        let commit_span = self.tracer.begin_current(
+            Layer::Journal,
+            "journal_commit",
+            self.journal_pid,
+            &txn.causes,
+            now,
+        );
+        self.tracer.set_arg(commit_span, txn.id.raw());
         let mut pending: HashSet<IoToken> = HashSet::new();
         // Ordered mode: flush dirty data of every file in the transaction,
         // and also wait for that data's already-in-flight writes.
@@ -328,6 +355,7 @@ impl JournaledFs {
             txn,
             phase: CommitPhase::FlushingData,
             pending: HashSet::new(), // placeholder; set below
+            span: commit_span,
         });
         let mut flush_tokens = Vec::new();
         for file in ordered {
@@ -422,7 +450,10 @@ impl JournaledFs {
         let commit = self.commit.take().expect("commit in flight");
         self.journal.mark_committed(commit.txn.id);
         self.proxies.clear(self.journal_pid);
-        out.events.push(FsEvent::TxnCommitted { txn: commit.txn.id });
+        self.tracer.end_current(self.journal_pid, commit.span, now);
+        self.tracer.count("journal.commits", 1);
+        out.events
+            .push(FsEvent::TxnCommitted { txn: commit.txn.id });
         // Checkpoint: write the metadata in place, lazily (async). One
         // scattered write per transaction, sized by its metadata.
         if commit.txn.meta_blocks > 0 {
@@ -447,21 +478,21 @@ impl JournaledFs {
             });
         }
         // Wake fsyncs that were waiting on this transaction.
-        self.resolve_fsyncs(out);
+        self.resolve_fsyncs(now, out);
         // Chain the next commit if someone already asked for it.
         self.maybe_start_commit(cache, now, out);
     }
 
     /// Fire `FsyncDone` for every fsync whose data is flushed and whose
     /// transaction is durable.
-    fn resolve_fsyncs(&mut self, out: &mut FsOutput) {
+    fn resolve_fsyncs(&mut self, now: SimTime, out: &mut FsOutput) {
         let journal = &self.journal;
         let mut done_ids = Vec::new();
         for (&id, st) in &self.fsyncs {
             if st.done {
                 continue;
             }
-            let txn_ok = st.wait_txn.map_or(true, |t| journal.is_committed(t));
+            let txn_ok = st.wait_txn.is_none_or(|t| journal.is_committed(t));
             if st.pending_data.is_empty() && txn_ok {
                 done_ids.push(id);
             }
@@ -469,6 +500,8 @@ impl JournaledFs {
         done_ids.sort_unstable();
         for id in done_ids {
             let st = self.fsyncs.remove(&id).expect("present");
+            self.tracer.end(st.data_span, now);
+            self.tracer.end(st.txn_span, now);
             out.events.push(FsEvent::FsyncDone {
                 file: st.file,
                 waiter: st.waiter,
@@ -500,13 +533,7 @@ impl FileSystem for JournaledFs {
         FsOutput::none()
     }
 
-    fn unlink(
-        &mut self,
-        file: FileId,
-        pid: Pid,
-        cache: &mut PageCache,
-        now: SimTime,
-    ) -> FsOutput {
+    fn unlink(&mut self, file: FileId, pid: Pid, cache: &mut PageCache, now: SimTime) -> FsOutput {
         let mut out = FsOutput::none();
         let causes = CauseSet::of(pid);
         self.journal.join(MetaKey::DirBlock(0), &causes, now);
@@ -530,7 +557,10 @@ impl FileSystem for JournaledFs {
             inode.extents.insert(0, start, npages);
         } else {
             let mut page = 0;
-            for (start, len) in self.allocator.alloc_scattered(npages, self.cfg.scatter_chunk) {
+            for (start, len) in self
+                .allocator
+                .alloc_scattered(npages, self.cfg.scatter_chunk)
+            {
                 inode.extents.insert(page, start, len);
                 page += len;
             }
@@ -548,13 +578,7 @@ impl FileSystem for JournaledFs {
         self.journal.mark_ordered(file);
     }
 
-    fn fsync(
-        &mut self,
-        file: FileId,
-        pid: Pid,
-        cache: &mut PageCache,
-        now: SimTime,
-    ) -> FsOutput {
+    fn fsync(&mut self, file: FileId, pid: Pid, cache: &mut PageCache, now: SimTime) -> FsOutput {
         let mut out = FsOutput::none();
         let id = self.fsync_ids.next();
         // fsync must wait for data writes already in flight (e.g. an
@@ -564,21 +588,58 @@ impl FileSystem for JournaledFs {
             .get(&file)
             .map(|s| s.iter().copied().collect())
             .unwrap_or_default();
-        let tokens =
-            self.flush_file_data(file, u64::MAX, pid, true, Some(id), None, cache, now, &mut out);
+        let tokens = self.flush_file_data(
+            file,
+            u64::MAX,
+            pid,
+            true,
+            Some(id),
+            None,
+            cache,
+            now,
+            &mut out,
+        );
         pending.extend(tokens);
         // Which transaction must commit before this fsync returns?
-        let wait_txn = self
-            .journal
-            .txn_of(file)
-            .or_else(|| match &self.commit {
-                Some(c) if c.txn.ordered.contains(&file) || c.txn.causes.contains(pid) => {
-                    Some(c.txn.id)
-                }
-                _ => None,
-            });
+        let wait_txn = self.journal.txn_of(file).or_else(|| match &self.commit {
+            Some(c) if c.txn.ordered.contains(&file) || c.txn.causes.contains(pid) => {
+                Some(c.txn.id)
+            }
+            _ => None,
+        });
         if wait_txn == Some(self.journal.running_id()) {
             self.journal.request_commit();
+        }
+        // Decompose the fsync under its syscall span: one child for the
+        // data flush, one for the journal-commit wait (entanglement shows
+        // up as foreign causes on the commit's own spans).
+        let mut data_span = SpanId::NONE;
+        let mut txn_span = SpanId::NONE;
+        if self.tracer.enabled() {
+            self.tracer.count("fs.fsyncs", 1);
+            let parent = self.tracer.current(pid);
+            let causes = CauseSet::of(pid);
+            if !pending.is_empty() {
+                data_span = self.tracer.begin_child(
+                    parent,
+                    Layer::Writeback,
+                    "fsync_data",
+                    pid,
+                    &causes,
+                    now,
+                );
+            }
+            if let Some(txn) = wait_txn {
+                txn_span = self.tracer.begin_child(
+                    parent,
+                    Layer::Journal,
+                    "journal_wait",
+                    pid,
+                    &causes,
+                    now,
+                );
+                self.tracer.set_arg(txn_span, txn.raw());
+            }
         }
         self.fsyncs.insert(
             id,
@@ -588,10 +649,12 @@ impl FileSystem for JournaledFs {
                 pending_data: pending,
                 wait_txn,
                 done: false,
+                data_span,
+                txn_span,
             },
         );
         self.maybe_start_commit(cache, now, &mut out);
-        self.resolve_fsyncs(&mut out);
+        self.resolve_fsyncs(now, &mut out);
         out
     }
 
@@ -647,11 +710,27 @@ impl FileSystem for JournaledFs {
             self.proxies.clear(proxy);
             out.events.push(FsEvent::WritebackDone { pages: 0 });
         } else {
+            let mut span = SpanId::NONE;
+            if self.tracer.enabled() {
+                // The pass span carries the flushed pages' causes (the
+                // proxy registry already resolved them) — delegation made
+                // visible.
+                let causes = self.proxies.resolve(proxy);
+                span = self.tracer.begin_current(
+                    Layer::Writeback,
+                    "writeback_pass",
+                    proxy,
+                    &causes,
+                    now,
+                );
+                self.tracer.set_arg(span, pages);
+            }
             self.wb_passes.insert(
                 pass,
                 WbPass {
                     pending: tokens.into_iter().collect(),
                     pages,
+                    span,
                 },
             );
         }
@@ -664,7 +743,11 @@ impl FileSystem for JournaledFs {
             return out;
         };
         match owner {
-            TokenOwner::Data { file, fsync, wb_pass } => {
+            TokenOwner::Data {
+                file,
+                fsync,
+                wb_pass,
+            } => {
                 if let Some(set) = self.inflight_data.get_mut(&file) {
                     set.remove(&token);
                     if set.is_empty() {
@@ -674,8 +757,17 @@ impl FileSystem for JournaledFs {
                 let _ = fsync;
                 // Any fsync may be waiting on this token (its own flush or
                 // a pre-existing in-flight write of the same file).
+                let mut drained = Vec::new();
                 for st in self.fsyncs.values_mut() {
-                    st.pending_data.remove(&token);
+                    if st.pending_data.remove(&token) && st.pending_data.is_empty() {
+                        let span = std::mem::take(&mut st.data_span);
+                        if !span.is_none() {
+                            drained.push(span);
+                        }
+                    }
+                }
+                for span in drained {
+                    self.tracer.end(span, now);
                 }
                 if let Some(pass) = wb_pass {
                     let done = if let Some(wb) = self.wb_passes.get_mut(&pass) {
@@ -687,6 +779,7 @@ impl FileSystem for JournaledFs {
                     if done {
                         let wb = self.wb_passes.remove(&pass).expect("present");
                         self.proxies.clear(self.writeback_pid);
+                        self.tracer.end_current(self.writeback_pid, wb.span, now);
                         out.events.push(FsEvent::WritebackDone { pages: wb.pages });
                     }
                 }
@@ -699,7 +792,7 @@ impl FileSystem for JournaledFs {
                         }
                     }
                 }
-                self.resolve_fsyncs(&mut out);
+                self.resolve_fsyncs(now, &mut out);
             }
             TokenOwner::JournalLog => {
                 if let Some(c) = self.commit.as_mut() {
@@ -731,7 +824,7 @@ impl FileSystem for JournaledFs {
         let mut out = FsOutput::none();
         self.last_timer = now;
         self.maybe_start_commit(cache, now, &mut out);
-        self.resolve_fsyncs(&mut out);
+        self.resolve_fsyncs(now, &mut out);
         out
     }
 
@@ -865,9 +958,7 @@ mod tests {
         // record, then checkpoint.
         let kinds: Vec<ReqKind> = h.completed.iter().map(|io| io.kind).collect();
         let first_journal = kinds.iter().position(|k| *k == ReqKind::Journal).unwrap();
-        assert!(kinds[..first_journal]
-            .iter()
-            .all(|k| *k == ReqKind::Data));
+        assert!(kinds[..first_journal].iter().all(|k| *k == ReqKind::Data));
         let journal_count = kinds.iter().filter(|k| **k == ReqKind::Journal).count();
         assert_eq!(journal_count, 2, "log body + commit record");
         assert_eq!(*kinds.last().unwrap(), ReqKind::Metadata, "checkpoint last");
@@ -920,7 +1011,10 @@ mod tests {
 
     #[test]
     fn ext4_tags_journal_io_but_xfs_does_not() {
-        for (mk, tagged) in [(Harness::ext4 as fn() -> Harness, true), (Harness::xfs, false)] {
+        for (mk, tagged) in [
+            (Harness::ext4 as fn() -> Harness, true),
+            (Harness::xfs, false),
+        ] {
             let mut h = mk();
             let (f, _) = h.fs.create_file(Pid(7), h.now);
             h.write(f, Pid(7), 0, sim_core::PAGE_SIZE);
@@ -952,7 +1046,10 @@ mod tests {
         assert_eq!(h.fs.allocated_block(f, 0), None);
         let out = h.fs.writeback(None, 1024, WBPID, &mut h.cache, h.now);
         h.absorb(out);
-        assert!(h.fs.allocated_block(f, 0).is_some(), "allocated at writeback");
+        assert!(
+            h.fs.allocated_block(f, 0).is_some(),
+            "allocated at writeback"
+        );
         // Writeback I/O: submitted by the writeback task, caused by Pid 3.
         assert!(!h.pending.is_empty());
         for io in &h.pending {
@@ -1027,7 +1124,11 @@ mod tests {
         let ec = h.fs.blocks_for_read(contig, 0, 256);
         let ef = h.fs.blocks_for_read(frag, 0, 256);
         assert_eq!(ec.len(), 1, "contiguous file is one extent");
-        assert!(ef.len() > 2, "aged file is fragmented: {} extents", ef.len());
+        assert!(
+            ef.len() > 2,
+            "aged file is fragmented: {} extents",
+            ef.len()
+        );
         assert_eq!(h.fs.file_size(contig), 1 << 20);
     }
 

@@ -184,7 +184,7 @@ impl Journal {
 
     /// Record that `txn` became durable (commits are in order).
     pub fn mark_committed(&mut self, txn: TxnId) {
-        debug_assert!(self.last_committed.map_or(true, |t| txn.raw() > t.raw()));
+        debug_assert!(self.last_committed.is_none_or(|t| txn.raw() > t.raw()));
         self.last_committed = Some(txn);
         self.file_txn.retain(|_, t| t.raw() > txn.raw());
     }
@@ -260,9 +260,17 @@ mod tests {
     #[test]
     fn ordered_files_travel_with_the_sealed_txn() {
         let mut j = jnl();
-        j.join(MetaKey::Inode(FileId(5)), &CauseSet::of(Pid(1)), SimTime::ZERO);
+        j.join(
+            MetaKey::Inode(FileId(5)),
+            &CauseSet::of(Pid(1)),
+            SimTime::ZERO,
+        );
         j.mark_ordered(FileId(5));
-        j.join(MetaKey::Inode(FileId(9)), &CauseSet::of(Pid(2)), SimTime::ZERO);
+        j.join(
+            MetaKey::Inode(FileId(9)),
+            &CauseSet::of(Pid(2)),
+            SimTime::ZERO,
+        );
         j.mark_ordered(FileId(9));
         let sealed = j.seal();
         assert_eq!(sealed.ordered, vec![FileId(5), FileId(9)]);
@@ -273,9 +281,17 @@ mod tests {
     #[test]
     fn commit_tracking_is_in_order() {
         let mut j = jnl();
-        j.join(MetaKey::Inode(FileId(1)), &CauseSet::of(Pid(1)), SimTime::ZERO);
+        j.join(
+            MetaKey::Inode(FileId(1)),
+            &CauseSet::of(Pid(1)),
+            SimTime::ZERO,
+        );
         let t1 = j.seal();
-        j.join(MetaKey::Inode(FileId(2)), &CauseSet::of(Pid(1)), SimTime::ZERO);
+        j.join(
+            MetaKey::Inode(FileId(2)),
+            &CauseSet::of(Pid(1)),
+            SimTime::ZERO,
+        );
         let t2 = j.seal();
         assert!(!j.is_committed(t1.id));
         j.mark_committed(t1.id);
@@ -294,7 +310,11 @@ mod tests {
             ..Default::default()
         });
         assert!(!j.wants_commit(SimTime::ZERO), "empty txn never commits");
-        j.join(MetaKey::Inode(FileId(1)), &CauseSet::of(Pid(1)), SimTime::ZERO);
+        j.join(
+            MetaKey::Inode(FileId(1)),
+            &CauseSet::of(Pid(1)),
+            SimTime::ZERO,
+        );
         assert!(!j.wants_commit(SimTime::from_nanos(1)));
         // Request.
         j.request_commit();
@@ -302,12 +322,20 @@ mod tests {
         j.seal();
         // Size.
         for f in 0..3 {
-            j.join(MetaKey::Inode(FileId(f)), &CauseSet::of(Pid(1)), SimTime::ZERO);
+            j.join(
+                MetaKey::Inode(FileId(f)),
+                &CauseSet::of(Pid(1)),
+                SimTime::ZERO,
+            );
         }
         assert!(j.wants_commit(SimTime::from_nanos(1)));
         j.seal();
         // Timeout.
-        j.join(MetaKey::Inode(FileId(9)), &CauseSet::of(Pid(1)), SimTime::ZERO);
+        j.join(
+            MetaKey::Inode(FileId(9)),
+            &CauseSet::of(Pid(1)),
+            SimTime::ZERO,
+        );
         assert!(!j.wants_commit(SimTime::from_nanos(2)));
         assert!(j.wants_commit(SimTime::ZERO + SimDuration::from_secs(6)));
     }

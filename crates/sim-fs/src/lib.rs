@@ -26,8 +26,8 @@ pub mod alloc;
 pub mod fs;
 pub mod journal;
 
-use sim_core::{BlockNo, CauseSet, FileId, Pid, SimTime, TxnId};
 use sim_block::ReqKind;
+use sim_core::{BlockNo, CauseSet, FileId, Pid, SimTime, TxnId};
 use sim_device::IoDir;
 
 pub use alloc::{Allocator, Extent};

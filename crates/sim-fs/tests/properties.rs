@@ -1,53 +1,65 @@
-//! Property-based tests for allocation and extent mapping: no two files
-//! ever share a block, and lookups agree with range queries.
+//! Randomized tests for allocation and extent mapping: no two files
+//! ever share a block, and lookups agree with range queries. Driven by
+//! `SimRng` so the case set is deterministic and dependency-free.
 
-use proptest::prelude::*;
-use sim_fs::alloc::{Allocator, ExtentMap};
+use sim_core::rng::SimRng;
 use sim_core::FileId;
+use sim_fs::alloc::{Allocator, ExtentMap};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Blocks handed out by the allocator never overlap, across any
-    /// interleaving of files and sizes.
-    #[test]
-    fn allocator_never_overlaps(
-        grants in proptest::collection::vec((0u64..8, 1u64..500), 1..60)
-    ) {
+/// Blocks handed out by the allocator never overlap, across any
+/// interleaving of files and sizes.
+#[test]
+fn allocator_never_overlaps() {
+    let mut rng = SimRng::seed_from_u64(0xA110C);
+    for _ in 0..64 {
+        let n = 1 + rng.gen_range(59) as usize;
+        let grants: Vec<(u64, u64)> = (0..n)
+            .map(|_| (rng.gen_range(8), 1 + rng.gen_range(499)))
+            .collect();
         let mut a = Allocator::new(0, 1 << 24, 256, 42);
         let mut used: std::collections::HashSet<u64> = Default::default();
         for (file, n) in grants {
             for (start, len) in a.alloc(FileId(file), n) {
                 for b in start.raw()..start.raw() + len {
-                    prop_assert!(used.insert(b), "block {b} double-allocated");
+                    assert!(used.insert(b), "block {b} double-allocated");
                 }
             }
         }
     }
+}
 
-    /// Scattered allocation also never overlaps and covers the request.
-    #[test]
-    fn scattered_allocation_is_exact(sizes in proptest::collection::vec(1u64..2000, 1..20)) {
+/// Scattered allocation also never overlaps and covers the request.
+#[test]
+fn scattered_allocation_is_exact() {
+    let mut rng = SimRng::seed_from_u64(0x5CA77);
+    for _ in 0..64 {
+        let n = 1 + rng.gen_range(19) as usize;
+        let sizes: Vec<u64> = (0..n).map(|_| 1 + rng.gen_range(1999)).collect();
         let mut a = Allocator::new(0, 1 << 26, 256, 7);
         let mut used: std::collections::HashSet<u64> = Default::default();
         for n in sizes {
             let runs = a.alloc_scattered(n, 64);
             let total: u64 = runs.iter().map(|r| r.1).sum();
-            prop_assert_eq!(total, n);
+            assert_eq!(total, n);
             for (start, len) in runs {
                 for b in start.raw()..start.raw() + len {
-                    prop_assert!(used.insert(b));
+                    assert!(used.insert(b));
                 }
             }
         }
     }
+}
 
-    /// `lookup` and `extents_for` agree page by page.
-    #[test]
-    fn extent_map_lookup_matches_ranges(
-        inserts in proptest::collection::vec((0u64..100u64, 1u64..20), 1..15),
-        query in (0u64..150, 1u64..40),
-    ) {
+/// `lookup` and `extents_for` agree page by page.
+#[test]
+fn extent_map_lookup_matches_ranges() {
+    let mut rng = SimRng::seed_from_u64(0xE47E47);
+    for _ in 0..64 {
+        let n = 1 + rng.gen_range(14) as usize;
+        let inserts: Vec<(u64, u64)> = (0..n)
+            .map(|_| (rng.gen_range(100), 1 + rng.gen_range(19)))
+            .collect();
+        let query = (rng.gen_range(150), 1 + rng.gen_range(39));
         let mut m = ExtentMap::new();
         let mut next_block = 1000u64;
         let mut covered: std::collections::BTreeMap<u64, u64> = Default::default();
@@ -73,15 +85,15 @@ proptest! {
             }
         }
         for p in qp..qp + ql {
-            prop_assert_eq!(
+            assert_eq!(
                 m.lookup(p).map(|b| b.raw()),
                 from_ranges.get(&p).copied(),
-                "disagreement at page {}", p
+                "disagreement at page {p}"
             );
-            prop_assert_eq!(
+            assert_eq!(
                 m.lookup(p).map(|b| b.raw()),
                 covered.get(&p).copied(),
-                "model disagreement at page {}", p
+                "model disagreement at page {p}"
             );
         }
     }

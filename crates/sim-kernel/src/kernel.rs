@@ -12,8 +12,11 @@ use sim_core::{
 };
 use sim_device::{DiskModel, HddModel, SsdModel};
 use sim_fs::{FileSystem, FsEvent, FsOutput, IoToken, JournaledFs};
-use split_core::{BufferDirtied, BufferFreed, Gate, IoSched, SchedAttr, SchedCmd, SchedCtx,
-    SyscallInfo, SyscallKind};
+use sim_trace::{Layer, RequestTrace, SpanId, Tracer};
+use split_core::{
+    BufferDirtied, BufferFreed, Gate, IoSched, SchedAttr, SchedCmd, SchedCtx, SyscallInfo,
+    SyscallKind,
+};
 
 use crate::cpu::{CpuCosts, CpuModel};
 use crate::process::{Outcome, ProcAction, ProcessLogic};
@@ -146,6 +149,10 @@ struct CurSyscall {
     gate_since: Option<SimTime>,
     gated: bool,
     pending_io: HashSet<RequestId>,
+    /// The syscall-layer span covering this call.
+    span: SpanId,
+    /// An open gate-wait or dirty-wait child span, if parked.
+    wait_span: SpanId,
 }
 
 struct Proc {
@@ -162,6 +169,10 @@ struct ReqMeta {
     reader: Option<Pid>,
     fill: Option<(FileId, u64, u64)>,
     dirty_pages: u64,
+    /// Block-layer queue span (submit → dispatch).
+    queue_span: SpanId,
+    /// Device service span (dispatch → completion).
+    device_span: SpanId,
 }
 
 /// One simulated machine.
@@ -190,7 +201,7 @@ pub struct Kernel {
     writeback_pid: Pid,
     /// Measurements.
     pub stats: KernelStats,
-    trace: Option<crate::trace::RequestTrace>,
+    tracer: Tracer,
 }
 
 impl Kernel {
@@ -204,11 +215,18 @@ impl Kernel {
         let journal_pid = Pid(1);
         let writeback_pid = Pid(2);
         let blocks = device.capacity_blocks();
-        let fs = match cfg.fs {
+        // One tracer per kernel, shared (disabled by default) with every
+        // layer so spans opened in the fs or cache join the kernel's tree.
+        let tracer = Tracer::for_kernel(id.raw());
+        tracer.label_task(journal_pid, "journal");
+        tracer.label_task(writeback_pid, "writeback");
+        let mut fs = match cfg.fs {
             FsChoice::Ext4 => JournaledFs::new_ext4(blocks, journal_pid, writeback_pid),
             FsChoice::Xfs => JournaledFs::new_xfs(blocks, journal_pid, writeback_pid),
         };
-        let cache = PageCache::new(cfg.cache);
+        fs.set_tracer(tracer.clone());
+        let mut cache = PageCache::new(cfg.cache);
+        cache.set_tracer(tracer.clone());
         let cores = cfg.cores;
         Kernel {
             id,
@@ -231,7 +249,7 @@ impl Kernel {
             journal_pid,
             writeback_pid,
             stats: KernelStats::default(),
-            trace: None,
+            tracer,
         }
     }
 
@@ -250,7 +268,8 @@ impl Kernel {
                 inject_target: None,
             },
         );
-        bus.q.schedule(bus.q.now(), Event::ProcStep { k: self.id, pid });
+        bus.q
+            .schedule(bus.q.now(), Event::ProcStep { k: self.id, pid });
         pid
     }
 
@@ -338,15 +357,43 @@ impl Kernel {
         self.sched.as_ref()
     }
 
-    /// Record every dispatched request into an in-memory trace
-    /// (capacity-bounded); retrieve it with [`Kernel::trace`].
-    pub fn enable_trace(&mut self, capacity: usize) {
-        self.trace = Some(crate::trace::RequestTrace::with_capacity(capacity));
+    /// Turn on span + metrics tracing for this kernel's entire stack
+    /// (syscall gate, cache, fs journal, block queue, device service).
+    /// Export with [`Kernel::tracer`] (`chrome_json`, `spans_csv`, ...).
+    pub fn enable_tracing(&mut self) {
+        self.tracer.set_enabled(true);
     }
 
-    /// The request trace, if tracing was enabled.
-    pub fn trace(&self) -> Option<&crate::trace::RequestTrace> {
-        self.trace.as_ref()
+    /// The tracing handle shared by every layer of this kernel.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Record every dispatched request into an in-memory trace
+    /// (capacity-bounded, oldest kept); retrieve it with
+    /// [`Kernel::trace_records`] or [`Kernel::trace_csv`].
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.tracer
+            .install_block_trace(RequestTrace::with_capacity(capacity));
+    }
+
+    /// Like [`Kernel::enable_trace`], but as a ring buffer that keeps the
+    /// *newest* `capacity` dispatches — for long runs where the interesting
+    /// window is the end.
+    pub fn enable_trace_ring(&mut self, capacity: usize) {
+        self.tracer
+            .install_block_trace(RequestTrace::ring(capacity));
+    }
+
+    /// Snapshot of the recorded block dispatches, if tracing was enabled.
+    pub fn trace_records(&self) -> Option<Vec<crate::trace::TraceRecord>> {
+        self.tracer
+            .with_block_trace(|t| t.iter().cloned().collect())
+    }
+
+    /// CSV export of the block trace, if tracing was enabled.
+    pub fn trace_csv(&self) -> Option<String> {
+        self.tracer.with_block_trace(|t| t.to_csv())
     }
 
     /// The writeback daemon's pid.
@@ -362,7 +409,8 @@ impl Kernel {
     /// Arm the kernel's periodic timers; called once by the world.
     pub(crate) fn start_timers(&mut self, bus: &mut Bus) {
         let now = bus.q.now();
-        bus.q.schedule(self.fs.next_timer(now), Event::FsTimer { k: self.id });
+        bus.q
+            .schedule(self.fs.next_timer(now), Event::FsTimer { k: self.id });
         bus.q
             .schedule(now + self.cfg.wb_tick, Event::WritebackTick { k: self.id });
     }
@@ -471,6 +519,26 @@ impl Kernel {
         self.attrs.get(&pid).map(|a| a.ioprio).unwrap_or_default()
     }
 
+    fn cur_mut(&mut self, pid: Pid) -> &mut CurSyscall {
+        self.procs
+            .get_mut(&pid)
+            .expect("proc exists")
+            .cur
+            .as_mut()
+            .expect("syscall in flight")
+    }
+
+    /// Close `pid`'s open gate-wait / dirty-wait span, if any.
+    fn end_wait_span(&mut self, pid: Pid, now: SimTime) {
+        let ws = self
+            .procs
+            .get_mut(&pid)
+            .and_then(|p| p.cur.as_mut())
+            .map(|c| std::mem::take(&mut c.wait_span))
+            .unwrap_or(SpanId::NONE);
+        self.tracer.end(ws, now);
+    }
+
     fn begin_syscall(&mut self, pid: Pid, kind: SyscallKind, bus: &mut Bus) {
         let now = bus.q.now();
         {
@@ -482,7 +550,20 @@ impl Kernel {
                 gate_since: None,
                 gated,
                 pending_io: HashSet::new(),
+                span: SpanId::NONE,
+                wait_span: SpanId::NONE,
             });
+        }
+        if self.tracer.enabled() {
+            let span = self.tracer.begin_current(
+                Layer::Syscall,
+                kind.name(),
+                pid,
+                &CauseSet::of(pid),
+                now,
+            );
+            self.tracer.count(syscall_count_name(kind), 1);
+            self.cur_mut(pid).span = span;
         }
         let gated = kind.is_write_like() || self.cfg.gate_reads;
         if gated {
@@ -499,7 +580,7 @@ impl Kernel {
             let (gate, cmds) = {
                 let sched = self.sched.as_mut();
                 let dev = self.device.peek();
-                let mut ctx = SchedCtx::new(now, dev);
+                let mut ctx = SchedCtx::traced(now, dev, self.tracer.clone());
                 let gate = sched.syscall_enter(&info, &mut ctx);
                 (gate, ctx.drain())
             };
@@ -507,6 +588,13 @@ impl Kernel {
                 let proc = self.procs.get_mut(&pid).expect("proc exists");
                 proc.state = PState::GateWait;
                 proc.cur.as_mut().expect("just set").gate_since = Some(now);
+                if self.tracer.enabled() {
+                    let ws =
+                        self.tracer
+                            .begin(Layer::Gate, "gate_wait", pid, &CauseSet::of(pid), now);
+                    self.tracer.count("gate.holds", 1);
+                    self.cur_mut(pid).wait_span = ws;
+                }
                 self.apply_cmds(cmds, bus);
                 self.try_dispatch(bus);
                 return;
@@ -526,6 +614,17 @@ impl Kernel {
                 if self.effective_dirty() >= self.cache.config().dirty_limit_pages() {
                     self.procs.get_mut(&pid).expect("exists").state = PState::DirtyWait;
                     self.dirty_waiters.push_back(pid);
+                    if self.tracer.enabled() && self.cur_mut(pid).wait_span.is_none() {
+                        let ws = self.tracer.begin(
+                            Layer::Cache,
+                            "dirty_wait",
+                            pid,
+                            &CauseSet::of(pid),
+                            now,
+                        );
+                        self.tracer.count("cache.dirty_throttled", 1);
+                        self.cur_mut(pid).wait_span = ws;
+                    }
                     self.kick_writeback(bus);
                     return;
                 }
@@ -653,11 +752,22 @@ impl Kernel {
 
     fn complete_syscall(&mut self, pid: Pid, outcome: Outcome, cpu: SimDuration, bus: &mut Bus) {
         let now = bus.q.now();
-        let (kind, entered, gate_since, gated) = {
+        let (kind, entered, gate_since, gated, span, wait_span) = {
             let proc = self.procs.get_mut(&pid).expect("proc exists");
             let cur = proc.cur.take().expect("syscall in flight");
-            (cur.kind, cur.entered, cur.gate_since, cur.gated)
+            (
+                cur.kind,
+                cur.entered,
+                cur.gate_since,
+                cur.gated,
+                cur.span,
+                cur.wait_span,
+            )
         };
+        self.tracer.end(wait_span, now);
+        self.tracer.end_current(pid, span, now);
+        self.tracer
+            .observe(syscall_hist_name(kind), now.since(entered));
         // Scheduler bookkeeping runs on every gated call (SCS pays it on
         // reads too; split schedulers only on write-like calls).
         let cpu = if gated {
@@ -735,6 +845,20 @@ impl Kernel {
         if req.ioprio.class == PrioClass::BestEffort {
             self.stats.req_prio_hist[req.ioprio.level.min(7) as usize] += 1;
         }
+        if self.tracer.enabled() {
+            let now = bus.q.now();
+            // Parent under the submitter's current span: the syscall for
+            // direct reads/fsync flushes, the commit or writeback-pass
+            // span for delegated I/O — delegation stays visible.
+            let qs = self
+                .tracer
+                .begin(Layer::Block, "queue", req.submitter, &req.causes, now);
+            self.tracer.set_arg(qs, req.id.raw());
+            self.req_meta.entry(req.id).or_default().queue_span = qs;
+            self.tracer.count("block.submitted", 1);
+            self.tracer
+                .gauge("block.queue_depth", now, (self.sched.queued() + 1) as f64);
+        }
         self.with_sched(bus, |s, ctx| s.block_add(req, ctx));
     }
 
@@ -752,6 +876,32 @@ impl Kernel {
                 Dispatch::Issue(req) => {
                     self.stats.requests_dispatched += 1;
                     self.stats.device_bytes += req.bytes();
+                    if self.tracer.enabled() {
+                        let now = bus.q.now();
+                        let qs = self
+                            .req_meta
+                            .get_mut(&req.id)
+                            .map(|m| std::mem::take(&mut m.queue_span))
+                            .unwrap_or(SpanId::NONE);
+                        self.tracer.end(qs, now);
+                        // The device span is the queue span's *sibling*
+                        // (same parent), so queueing and service read as
+                        // consecutive phases of one request.
+                        let parent = self.tracer.parent_of(qs);
+                        let ds = self.tracer.begin_child(
+                            parent,
+                            Layer::Device,
+                            "service",
+                            req.submitter,
+                            &req.causes,
+                            now,
+                        );
+                        self.tracer.set_arg(ds, req.id.raw());
+                        self.req_meta.entry(req.id).or_default().device_span = ds;
+                        self.tracer.count("block.dispatched", 1);
+                        self.tracer
+                            .observe("block.queue_ms", now.since(req.submitted_at));
+                    }
                     match &mut self.device {
                         DeviceKind::Physical(model) => {
                             let service = model.service_time(&req.shape());
@@ -759,7 +909,10 @@ impl Kernel {
                             self.inflight = Some((req, service));
                             bus.q.schedule(
                                 bus.q.now() + service,
-                                Event::DeviceDone { k: self.id, req: id },
+                                Event::DeviceDone {
+                                    k: self.id,
+                                    req: id,
+                                },
                             );
                         }
                         DeviceKind::Virtual {
@@ -815,8 +968,13 @@ impl Kernel {
     }
 
     fn finish_request(&mut self, req: Request, service: SimDuration, bus: &mut Bus) {
-        if let Some(trace) = self.trace.as_mut() {
-            trace.record(&req, service, bus.q.now());
+        let now = bus.q.now();
+        self.tracer.record_block(&req, service, now);
+        if self.tracer.enabled() {
+            self.tracer.count("block.completed", 1);
+            self.tracer.observe("device.service_ms", service);
+            self.tracer
+                .gauge("block.queue_depth", now, self.sched.queued() as f64);
         }
         // Charge disk time to the causes (fair-share accounting).
         if service > SimDuration::ZERO {
@@ -827,11 +985,16 @@ impl Kernel {
                 req.causes.clone()
             };
             for (pid, share) in causes.shares(secs) {
-                *self.stats.disk_time.entry(pid).or_insert(0.0) += share;
+                let total = self.stats.disk_time.entry(pid).or_insert(0.0);
+                *total += share;
+                let total = *total;
+                self.tracer
+                    .gauge_key("disk.time_s", pid.raw() as u64, now, total);
             }
         }
         self.with_sched(bus, |s, ctx| s.block_completed(&req, ctx));
         if let Some(meta) = self.req_meta.remove(&req.id) {
+            self.tracer.end(meta.device_span, now);
             if meta.dirty_pages > 0 {
                 self.wb_inflight_pages = self.wb_inflight_pages.saturating_sub(meta.dirty_pages);
             }
@@ -898,9 +1061,13 @@ impl Kernel {
         }
         self.wb_active = true;
         let now = bus.q.now();
-        let out = self
-            .fs
-            .writeback(None, self.cfg.wb_batch_pages, self.writeback_pid, &mut self.cache, now);
+        let out = self.fs.writeback(
+            None,
+            self.cfg.wb_batch_pages,
+            self.writeback_pid,
+            &mut self.cache,
+            now,
+        );
         self.absorb(out, bus);
     }
 
@@ -931,6 +1098,7 @@ impl Kernel {
                 .unwrap_or(false)
             {
                 self.procs.get_mut(&pid).expect("exists").state = PState::IoWait;
+                self.end_wait_span(pid, bus.q.now());
                 self.syscall_body(pid, bus);
             }
         }
@@ -947,7 +1115,7 @@ impl Kernel {
         let (r, cmds) = {
             let sched = self.sched.as_mut();
             let dev = self.device.peek();
-            let mut ctx = SchedCtx::new(now, dev);
+            let mut ctx = SchedCtx::traced(now, dev, self.tracer.clone());
             let r = f(sched, &mut ctx);
             let cmds = ctx.drain();
             (r, cmds)
@@ -987,6 +1155,7 @@ impl Kernel {
             return;
         }
         self.procs.get_mut(&pid).expect("exists").state = PState::IoWait;
+        self.end_wait_span(pid, bus.q.now());
         self.syscall_body(pid, bus);
     }
 
@@ -1063,5 +1232,29 @@ impl Kernel {
         }
         self.wake_dirty_waiters(bus);
         self.try_dispatch(bus);
+    }
+}
+
+/// Per-kind syscall counter names (static, so counting stays alloc-free).
+fn syscall_count_name(kind: SyscallKind) -> &'static str {
+    match kind {
+        SyscallKind::Read { .. } => "syscall.read",
+        SyscallKind::Write { .. } => "syscall.write",
+        SyscallKind::Fsync { .. } => "syscall.fsync",
+        SyscallKind::Create => "syscall.creat",
+        SyscallKind::Mkdir => "syscall.mkdir",
+        SyscallKind::Unlink { .. } => "syscall.unlink",
+    }
+}
+
+/// Per-kind syscall latency histogram names.
+fn syscall_hist_name(kind: SyscallKind) -> &'static str {
+    match kind {
+        SyscallKind::Read { .. } => "syscall.read_ms",
+        SyscallKind::Write { .. } => "syscall.write_ms",
+        SyscallKind::Fsync { .. } => "syscall.fsync_ms",
+        SyscallKind::Create => "syscall.creat_ms",
+        SyscallKind::Mkdir => "syscall.mkdir_ms",
+        SyscallKind::Unlink { .. } => "syscall.unlink_ms",
     }
 }

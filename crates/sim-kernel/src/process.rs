@@ -76,7 +76,6 @@ mod tests {
         };
         let a = ProcessLogic::next(&mut p, SimTime::ZERO, &Outcome::None);
         assert!(matches!(a, ProcAction::Exit));
-        drop(p);
         assert_eq!(calls, 1);
     }
 }

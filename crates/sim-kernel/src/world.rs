@@ -162,6 +162,16 @@ impl World {
         &self.kernels[k.raw() as usize]
     }
 
+    /// Turn on span/metrics tracing for kernel `k`.
+    pub fn enable_tracing(&mut self, k: KernelId) {
+        self.kernels[k.raw() as usize].enable_tracing();
+    }
+
+    /// Kernel `k`'s tracer (spans, counters, gauges, histograms).
+    pub fn tracer(&self, k: KernelId) -> &sim_trace::Tracer {
+        self.kernels[k.raw() as usize].tracer()
+    }
+
     /// Mutable access to a kernel (experiment setup).
     pub fn kernel_mut(&mut self, k: KernelId) -> &mut Kernel {
         &mut self.kernels[k.raw() as usize]
@@ -204,7 +214,9 @@ impl World {
 
     /// Schedule an application timer.
     pub fn schedule_app_timer(&mut self, at: SimTime, token: u64) {
-        self.bus.q.schedule(at.max(self.now()), Event::AppTimer { token });
+        self.bus
+            .q
+            .schedule(at.max(self.now()), Event::AppTimer { token });
     }
 
     /// Take the accumulated application events.

@@ -8,9 +8,7 @@ use sim_block::{Dispatch, Noop, Request};
 use sim_cache::CacheConfig;
 use sim_core::{FileId, Pid, SimDuration, SimTime};
 use sim_kernel::{DeviceKind, KernelConfig, Outcome, ProcAction, World};
-use split_core::{
-    BlockOnly, BufferFreed, Gate, IoSched, SchedCtx, SyscallInfo, SyscallKind,
-};
+use split_core::{BlockOnly, BufferFreed, Gate, IoSched, SchedCtx, SyscallInfo, SyscallKind};
 
 const KB: u64 = 1024;
 const MB: u64 = 1024 * 1024;
@@ -30,7 +28,7 @@ impl IoSched for HoldEveryN {
     }
     fn syscall_enter(&mut self, sc: &SyscallInfo, ctx: &mut SchedCtx<'_>) -> Gate {
         self.seen += 1;
-        if self.seen % self.n == 0 {
+        if self.seen.is_multiple_of(self.n) {
             self.held.push(sc.pid);
             ctx.set_timer(ctx.now + self.hold_for);
             Gate::Hold
@@ -251,7 +249,11 @@ fn scs_style_gating_applies_to_reads_when_configured() {
     };
     let pid = w.spawn(k, Box::new(reader));
     w.run_for(SimDuration::from_millis(100));
-    assert!(*held.borrow() > 10, "reads passed the gate: {}", held.borrow());
+    assert!(
+        *held.borrow() > 10,
+        "reads passed the gate: {}",
+        held.borrow()
+    );
     let st = w.kernel(k).stats.proc(pid).unwrap();
     assert!(st.reads > 10, "and still completed: {}", st.reads);
 }
@@ -328,7 +330,11 @@ fn dirty_throttle_bounds_buffered_data() {
         },
         ..Default::default()
     };
-    let k = w.add_kernel(cfg, DeviceKind::hdd(), Box::new(BlockOnly::new(Noop::new())));
+    let k = w.add_kernel(
+        cfg,
+        DeviceKind::hdd(),
+        Box::new(BlockOnly::new(Noop::new())),
+    );
     let f = w.prealloc_file(k, 1 << 30, true);
     let mut offset = 0;
     let writer = move |_n: SimTime, _l: &Outcome| {

@@ -3,21 +3,28 @@
 
 use sim_block::{BlockDeadline, Cfq, IoPrio, Noop};
 use sim_cache::CacheConfig;
-use sim_core::{FileId, Pid, SimDuration, SimTime};
+use sim_core::{FileId, SimDuration, SimTime};
 use sim_kernel::{DeviceKind, KernelConfig, Outcome, ProcAction, World};
 use split_core::{BlockOnly, SyscallKind};
 
 const KB: u64 = 1024;
 const MB: u64 = 1024 * 1024;
 
-fn world_with(sched: Box<dyn split_core::IoSched>, device: DeviceKind) -> (World, sim_core::KernelId) {
+fn world_with(
+    sched: Box<dyn split_core::IoSched>,
+    device: DeviceKind,
+) -> (World, sim_core::KernelId) {
     let mut w = World::new();
     let k = w.add_kernel(KernelConfig::default(), device, sched);
     (w, k)
 }
 
 /// A sequential reader over a preallocated file, wrapping at EOF.
-fn seq_reader(file: FileId, file_bytes: u64, req: u64) -> impl FnMut(SimTime, &Outcome) -> ProcAction {
+fn seq_reader(
+    file: FileId,
+    file_bytes: u64,
+    req: u64,
+) -> impl FnMut(SimTime, &Outcome) -> ProcAction {
     let mut offset = 0u64;
     move |_now, _last| {
         if offset + req > file_bytes {
@@ -37,7 +44,7 @@ fn seq_reader(file: FileId, file_bytes: u64, req: u64) -> impl FnMut(SimTime, &O
 fn sequential_read_reaches_device_bandwidth() {
     let (mut w, k) = world_with(Box::new(BlockOnly::new(Noop::new())), DeviceKind::hdd());
     let file = w.prealloc_file(k, 8 * 1024 * MB, true);
-    let pid = w.spawn(k, Box::new(seq_reader(file, 8 * 1024 * MB, 1 * MB)));
+    let pid = w.spawn(k, Box::new(seq_reader(file, 8 * 1024 * MB, MB)));
     w.run_for(SimDuration::from_secs(2));
     let mbps = w.kernel(k).stats.read_mbps(pid, SimDuration::from_secs(2));
     assert!(
@@ -59,7 +66,10 @@ fn random_read_is_orders_of_magnitude_slower() {
             len: 4 * KB,
         })
     };
-    let pid = w.spawn(k, Box::new(move |n: SimTime, l: &Outcome| rand_reader(n, l)));
+    let pid = w.spawn(
+        k,
+        Box::new(move |n: SimTime, l: &Outcome| rand_reader(n, l)),
+    );
     w.run_for(SimDuration::from_secs(2));
     let mbps = w.kernel(k).stats.read_mbps(pid, SimDuration::from_secs(2));
     assert!(mbps < 2.0, "random 4 KB reads on HDD: got {mbps:.2} MB/s");
@@ -88,7 +98,7 @@ fn buffered_writes_absorb_at_memory_speed_until_dirty_limit() {
         let a = ProcAction::Syscall(SyscallKind::Write {
             file,
             offset,
-            len: 1 * MB,
+            len: MB,
         });
         offset += MB;
         a
@@ -152,7 +162,7 @@ fn cfq_gives_higher_priority_readers_more_throughput() {
     let mut pids = Vec::new();
     for level in [0u8, 7] {
         let file = w.prealloc_file(k, 2 * 1024 * MB, true);
-        let pid = w.spawn(k, Box::new(seq_reader(file, 2 * 1024 * MB, 1 * MB)));
+        let pid = w.spawn(k, Box::new(seq_reader(file, 2 * 1024 * MB, MB)));
         w.set_ioprio(k, pid, IoPrio::best_effort(level));
         pids.push(pid);
     }
@@ -174,12 +184,8 @@ fn creat_loop_commits_metadata() {
         Box::new(BlockOnly::new(BlockDeadline::new())),
         DeviceKind::hdd(),
     );
-    let mut created = 0u64;
-    let mut last_file: Option<FileId> = None;
     let app = move |_now: SimTime, last: &Outcome| {
         if let Outcome::Created(f) = last {
-            last_file = Some(*f);
-            created += 1;
             ProcAction::Syscall(SyscallKind::Fsync { file: *f })
         } else {
             ProcAction::Syscall(SyscallKind::Create)
@@ -189,7 +195,11 @@ fn creat_loop_commits_metadata() {
     w.run_for(SimDuration::from_secs(1));
     let st = w.kernel(k).stats.proc(pid).unwrap();
     assert!(st.meta_ops.len() > 5, "creats: {}", st.meta_ops.len());
-    assert!(st.fsyncs.len() > 5, "fsync-after-creat: {}", st.fsyncs.len());
+    assert!(
+        st.fsyncs.len() > 5,
+        "fsync-after-creat: {}",
+        st.fsyncs.len()
+    );
     // Journal I/O happened (fsync of metadata-only files forces commits).
     assert!(w.kernel(k).stats.requests_dispatched > 10);
 }
@@ -255,7 +265,11 @@ fn guest_kernel_reads_through_virtual_disk() {
     // The host actually did the I/O on behalf of the VMM process.
     let host_vmm = w.kernel(host).stats.proc(vmm_pid).unwrap();
     assert!(host_vmm.read_bytes > 0 || host_vmm.reads > 0);
-    assert_eq!(host_vmm.reads + host_vmm.writes, host_vmm.reads, "reads only");
+    assert_eq!(
+        host_vmm.reads + host_vmm.writes,
+        host_vmm.reads,
+        "reads only"
+    );
 }
 
 #[test]

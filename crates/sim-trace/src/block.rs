@@ -1,0 +1,232 @@
+//! Request-level block tracing: when enabled, every dispatched block
+//! request is recorded with its submitter, cause tags, location and
+//! service time. Experiments use it to export the raw series behind the
+//! figures (e.g. Figure 12's latency timeline) and tests use it to
+//! assert on exact I/O interleavings.
+//!
+//! This lives alongside the span layer so block-layer tracing is one
+//! code path: the kernel records each dispatch once through the
+//! [`Tracer`](crate::Tracer), which feeds both the span store and this
+//! flat table.
+
+use sim_block::{ReqKind, Request};
+use sim_core::{CauseSet, FileId, Pid, SimDuration, SimTime};
+use sim_device::IoDir;
+use std::collections::VecDeque;
+
+/// One traced block request.
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    /// When the request was dispatched to the device.
+    pub dispatched_at: SimTime,
+    /// When it entered the block layer.
+    pub submitted_at: SimTime,
+    /// Device service time (zero for virtual devices).
+    pub service: SimDuration,
+    /// Direction.
+    pub dir: IoDir,
+    /// Data / journal / metadata.
+    pub kind: ReqKind,
+    /// Submitting task.
+    pub submitter: Pid,
+    /// Responsible processes.
+    pub causes: CauseSet,
+    /// Start block.
+    pub start: u64,
+    /// Blocks.
+    pub nblocks: u64,
+    /// Owning file, if known.
+    pub file: Option<FileId>,
+}
+
+impl TraceRecord {
+    /// Queueing delay: dispatch minus submission.
+    pub fn queue_delay(&self) -> SimDuration {
+        self.dispatched_at.since(self.submitted_at)
+    }
+}
+
+/// What to do once the capacity is reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum Overflow {
+    /// Keep the oldest records, count the rest as dropped.
+    #[default]
+    KeepOldest,
+    /// Ring buffer: evict the oldest record to admit the newest.
+    KeepNewest,
+}
+
+/// A bounded in-memory trace of dispatched requests.
+#[derive(Debug, Default)]
+pub struct RequestTrace {
+    records: VecDeque<TraceRecord>,
+    cap: usize,
+    overflow: Overflow,
+    dropped: u64,
+}
+
+impl RequestTrace {
+    /// A trace holding at most `cap` records; once full, *older* records
+    /// are kept and overflow is counted, not silently ignored. Use
+    /// [`RequestTrace::ring`] to keep the newest instead.
+    pub fn with_capacity(cap: usize) -> Self {
+        RequestTrace {
+            records: VecDeque::new(),
+            cap: cap.max(1),
+            overflow: Overflow::KeepOldest,
+            dropped: 0,
+        }
+    }
+
+    /// A ring buffer holding the `cap` *newest* records; each eviction
+    /// is counted in [`RequestTrace::dropped`].
+    pub fn ring(cap: usize) -> Self {
+        RequestTrace {
+            records: VecDeque::new(),
+            cap: cap.max(1),
+            overflow: Overflow::KeepNewest,
+            dropped: 0,
+        }
+    }
+
+    /// Record one dispatched request.
+    pub fn record(&mut self, req: &Request, service: SimDuration, now: SimTime) {
+        if self.records.len() >= self.cap {
+            self.dropped += 1;
+            match self.overflow {
+                Overflow::KeepOldest => return,
+                Overflow::KeepNewest => {
+                    self.records.pop_front();
+                }
+            }
+        }
+        self.records.push_back(TraceRecord {
+            dispatched_at: now,
+            submitted_at: req.submitted_at,
+            service,
+            dir: req.dir,
+            kind: req.kind,
+            submitter: req.submitter,
+            causes: req.causes.clone(),
+            start: req.start.raw(),
+            nblocks: req.nblocks,
+            file: req.file,
+        });
+    }
+
+    /// The recorded requests, in dispatch order.
+    pub fn records(&self) -> Vec<&TraceRecord> {
+        self.records.iter().collect()
+    }
+
+    /// Iterate the records in dispatch order.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing was recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Requests that did not fit in the capacity (dropped or evicted).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Export as CSV (header + one row per record).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "dispatched_s,submitted_s,service_ms,queue_ms,dir,kind,submitter,causes,start,nblocks,file\n",
+        );
+        for r in &self.records {
+            let causes: Vec<String> = r.causes.iter().map(|p| p.raw().to_string()).collect();
+            out.push_str(&format!(
+                "{:.6},{:.6},{:.3},{:.3},{:?},{:?},{},{},{},{},{}\n",
+                r.dispatched_at.as_secs_f64(),
+                r.submitted_at.as_secs_f64(),
+                r.service.as_millis_f64(),
+                r.queue_delay().as_millis_f64(),
+                r.dir,
+                r.kind,
+                r.submitter.raw(),
+                causes.join("|"),
+                r.start,
+                r.nblocks,
+                r.file.map(|f| f.raw().to_string()).unwrap_or_default(),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::{BlockNo, RequestId};
+
+    fn req(id: u64, start: u64) -> Request {
+        Request {
+            id: RequestId(id),
+            dir: IoDir::Write,
+            start: BlockNo(start),
+            nblocks: 4,
+            submitter: Pid(7),
+            causes: CauseSet::from_pids([Pid(1), Pid(2)]),
+            sync: false,
+            ioprio: Default::default(),
+            deadline: None,
+            submitted_at: SimTime::from_nanos(1_000_000),
+            file: Some(FileId(9)),
+            kind: ReqKind::Data,
+        }
+    }
+
+    #[test]
+    fn records_and_exports_csv() {
+        let mut t = RequestTrace::with_capacity(10);
+        t.record(
+            &req(1, 100),
+            SimDuration::from_millis(5),
+            SimTime::from_nanos(3_000_000),
+        );
+        assert_eq!(t.len(), 1);
+        let r = &t.records()[0];
+        assert_eq!(r.queue_delay(), SimDuration::from_millis(2));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("dispatched_s,"));
+        assert!(csv.contains("1|2"), "cause list exported: {csv}");
+        assert!(csv.contains(",9\n"), "file id exported");
+    }
+
+    #[test]
+    fn capacity_is_respected_and_counted() {
+        let mut t = RequestTrace::with_capacity(2);
+        for i in 0..5 {
+            t.record(&req(i, i * 10), SimDuration::ZERO, SimTime::from_nanos(i));
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+        // KeepOldest: the first two dispatches survive.
+        assert_eq!(t.records()[0].dispatched_at, SimTime::from_nanos(0));
+        assert_eq!(t.records()[1].dispatched_at, SimTime::from_nanos(1));
+    }
+
+    #[test]
+    fn ring_keeps_newest() {
+        let mut t = RequestTrace::ring(2);
+        for i in 0..5 {
+            t.record(&req(i, i * 10), SimDuration::ZERO, SimTime::from_nanos(i));
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+        // KeepNewest: the last two dispatches survive, still in order.
+        assert_eq!(t.records()[0].dispatched_at, SimTime::from_nanos(3));
+        assert_eq!(t.records()[1].dispatched_at, SimTime::from_nanos(4));
+    }
+}

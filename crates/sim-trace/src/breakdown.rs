@@ -1,0 +1,215 @@
+//! Latency-breakdown analysis: decompose each fsync's end-to-end
+//! latency into per-layer segments using the span tree. This is the
+//! paper's Figure 5 dependency story as a table — how much of an
+//! fsync's wait is the syscall gate, how much is flushing its own
+//! (and, entangled, everyone else's) data, and how much is waiting on
+//! the journal transaction.
+//!
+//! The decomposition is milestone-based so the segments tile the
+//! `[enter, complete]` interval exactly and always sum to the
+//! end-to-end latency: gate-exit, data-flush start/end, and journal
+//! resolution are clamped into monotone order and the five gaps
+//! between them are the components.
+
+use crate::span::{Layer, SpanRecord};
+
+/// Component labels, in timeline order.
+pub const FSYNC_COMPONENTS: [&str; 5] = [
+    "gate_wait",
+    "cpu_cache",
+    "data_flush",
+    "journal_wait",
+    "completion",
+];
+
+/// The layer each component is charged to (for per-layer tables).
+pub const FSYNC_COMPONENT_LAYERS: [Layer; 5] = [
+    Layer::Gate,
+    Layer::Cache,
+    Layer::Writeback,
+    Layer::Journal,
+    Layer::Syscall,
+];
+
+/// Aggregated fsync latency decomposition.
+#[derive(Debug, Clone, Default)]
+pub struct FsyncBreakdown {
+    /// Completed fsync spans analyzed.
+    pub count: usize,
+    /// Sum of end-to-end latencies (ms).
+    pub total_ms: f64,
+    /// Per-component totals (ms), indexed like [`FSYNC_COMPONENTS`].
+    pub components: [f64; 5],
+}
+
+impl FsyncBreakdown {
+    /// Mean end-to-end latency (ms).
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ms / self.count as f64
+        }
+    }
+
+    /// Sum of the component totals (ms) — equals `total_ms` up to
+    /// float rounding, by construction.
+    pub fn components_sum_ms(&self) -> f64 {
+        self.components.iter().sum()
+    }
+}
+
+/// Decompose every completed fsync syscall span in `spans`.
+///
+/// Milestones per fsync (each clamped to be ≥ the previous one):
+/// end of the `gate_wait` child, start and end of the `fsync_data`
+/// child, end of the `journal_wait` child. The five gaps between
+/// `[enter, m1, m2, m3, m4, complete]` are the components.
+pub fn fsync_breakdown(spans: &[SpanRecord]) -> FsyncBreakdown {
+    let mut out = FsyncBreakdown::default();
+    for s in spans {
+        if s.layer != Layer::Syscall || s.name != "fsync" {
+            continue;
+        }
+        let Some(end) = s.end else { continue };
+        let t0 = s.start.as_nanos();
+        let t_end = end.as_nanos();
+
+        let mut gate_end = None;
+        let mut data = None;
+        let mut journal_end = None;
+        for c in spans {
+            if c.parent != s.id {
+                continue;
+            }
+            match c.name {
+                "gate_wait" => gate_end = c.end.map(|e| e.as_nanos()),
+                "fsync_data" => data = Some((c.start.as_nanos(), c.end.map(|e| e.as_nanos()))),
+                "journal_wait" => journal_end = c.end.map(|e| e.as_nanos()),
+                _ => {}
+            }
+        }
+
+        let clamp = |t: u64, lo: u64| t.clamp(lo, t_end);
+        let m1 = clamp(gate_end.unwrap_or(t0), t0);
+        let (data_start, data_end) = match data {
+            Some((ds, de)) => (ds, de.unwrap_or(ds)),
+            None => (m1, m1),
+        };
+        let m2 = clamp(data_start, m1);
+        let m3 = clamp(data_end, m2);
+        let m4 = clamp(journal_end.unwrap_or(m3), m3);
+
+        let marks = [t0, m1, m2, m3, m4, t_end];
+        for (i, w) in marks.windows(2).enumerate() {
+            out.components[i] += (w[1] - w[0]) as f64 / 1e6;
+        }
+        out.count += 1;
+        out.total_ms += (t_end - t0) as f64 / 1e6;
+    }
+    out
+}
+
+/// Total closed-span time per layer (ms), in [`Layer::ALL`] order.
+/// Unlike the fsync decomposition these overlap (a queue span nests
+/// inside a journal commit), so this is a per-layer activity profile,
+/// not a partition.
+pub fn layer_totals(spans: &[SpanRecord]) -> [(Layer, f64); 7] {
+    let mut out = Layer::ALL.map(|l| (l, 0.0));
+    for s in spans {
+        if let Some(d) = s.duration() {
+            let slot = Layer::ALL.iter().position(|&l| l == s.layer).unwrap();
+            out[slot].1 += d.as_millis_f64();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanId;
+    use sim_core::{CauseSet, Pid, SimTime};
+
+    fn span(
+        id: u64,
+        parent: u64,
+        layer: Layer,
+        name: &'static str,
+        start: u64,
+        end: u64,
+    ) -> SpanRecord {
+        SpanRecord {
+            id: SpanId(id),
+            parent: SpanId(parent),
+            layer,
+            name,
+            pid: Pid(1),
+            causes: CauseSet::of(Pid(1)),
+            start: SimTime::from_nanos(start),
+            end: Some(SimTime::from_nanos(end)),
+            arg: None,
+        }
+    }
+
+    #[test]
+    fn components_tile_the_interval_exactly() {
+        let ms = 1_000_000u64;
+        let spans = vec![
+            span(1, 0, Layer::Syscall, "fsync", 0, 20 * ms),
+            span(2, 1, Layer::Gate, "gate_wait", 0, 2 * ms),
+            span(3, 1, Layer::Writeback, "fsync_data", 3 * ms, 10 * ms),
+            span(4, 1, Layer::Journal, "journal_wait", 3 * ms, 18 * ms),
+        ];
+        let b = fsync_breakdown(&spans);
+        assert_eq!(b.count, 1);
+        assert!((b.total_ms - 20.0).abs() < 1e-9);
+        assert!((b.components_sum_ms() - b.total_ms).abs() < 1e-9);
+        // gate 2, cpu/cache 1, data 7, journal 8, completion 2.
+        let expect = [2.0, 1.0, 7.0, 8.0, 2.0];
+        for (got, want) in b.components.iter().zip(expect) {
+            assert!(
+                (got - want).abs() < 1e-9,
+                "{:?} vs {expect:?}",
+                b.components
+            );
+        }
+    }
+
+    #[test]
+    fn missing_children_collapse_to_completion() {
+        let spans = vec![span(1, 0, Layer::Syscall, "fsync", 0, 5_000_000)];
+        let b = fsync_breakdown(&spans);
+        assert_eq!(b.count, 1);
+        assert!((b.components_sum_ms() - 5.0).abs() < 1e-9);
+        assert_eq!(b.components[0], 0.0);
+        assert!((b.components[4] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn milestones_clamp_monotone() {
+        // Journal resolved before the data flush ended: journal segment
+        // clamps to zero rather than going negative.
+        let ms = 1_000_000u64;
+        let spans = vec![
+            span(1, 0, Layer::Syscall, "fsync", 0, 10 * ms),
+            span(3, 1, Layer::Writeback, "fsync_data", ms, 9 * ms),
+            span(4, 1, Layer::Journal, "journal_wait", ms, 4 * ms),
+        ];
+        let b = fsync_breakdown(&spans);
+        assert!((b.components_sum_ms() - 10.0).abs() < 1e-9);
+        assert_eq!(b.components[3], 0.0, "journal clamps: {:?}", b.components);
+    }
+
+    #[test]
+    fn layer_totals_accumulate() {
+        let spans = vec![
+            span(1, 0, Layer::Block, "queue", 0, 2_000_000),
+            span(2, 0, Layer::Block, "queue", 0, 3_000_000),
+            span(3, 0, Layer::Device, "service", 0, 1_000_000),
+        ];
+        let t = layer_totals(&spans);
+        let block = t.iter().find(|(l, _)| *l == Layer::Block).unwrap().1;
+        assert!((block - 5.0).abs() < 1e-9);
+    }
+}

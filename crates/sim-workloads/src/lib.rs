@@ -457,9 +457,8 @@ mod tests {
 
     fn drive(p: &mut dyn ProcessLogic, steps: usize) -> Vec<ProcAction> {
         let mut out = Vec::new();
-        let mut now = SimTime::ZERO;
         for i in 0..steps {
-            now = SimTime::from_nanos(i as u64 * 1000);
+            let now = SimTime::from_nanos(i as u64 * 1000);
             out.push(p.next(now, &Outcome::None));
         }
         out

@@ -1,8 +1,9 @@
 //! The hook interface between the kernel and a split scheduler.
 
-use sim_core::{BlockNo, CauseSet, FileId, Pid, SimDuration, SimTime};
 use sim_block::{Dispatch, IoPrio, Request};
+use sim_core::{BlockNo, CauseSet, FileId, Pid, SimDuration, SimTime};
 use sim_device::DiskModel;
+use sim_trace::Tracer;
 
 /// Identifies an I/O-related system call as seen by the syscall-level
 /// hooks. Reads are *not* gated at entry (the paper schedules reads below
@@ -170,23 +171,39 @@ pub enum SchedCmd {
 }
 
 /// Context handed to every hook: the current time, a read-only view of the
-/// device model for cost peeking, and a command buffer.
+/// device model for cost peeking, a tracer for scheduler-side metrics, and
+/// a command buffer.
 pub struct SchedCtx<'a> {
     /// Current simulated time.
     pub now: SimTime,
     /// The device servicing this kernel's block layer; peek-only.
     pub device: &'a dyn DiskModel,
+    tracer: Tracer,
     commands: Vec<SchedCmd>,
 }
 
 impl<'a> SchedCtx<'a> {
     /// Build a context (called by the kernel before invoking a hook).
+    /// Carries a disabled tracer; use [`SchedCtx::traced`] to attach one.
     pub fn new(now: SimTime, device: &'a dyn DiskModel) -> Self {
+        Self::traced(now, device, Tracer::new())
+    }
+
+    /// Build a context that shares the kernel's tracer, so schedulers can
+    /// publish their internal state (token levels, queue depths) into the
+    /// same metrics registry as the rest of the stack.
+    pub fn traced(now: SimTime, device: &'a dyn DiskModel, tracer: Tracer) -> Self {
         SchedCtx {
             now,
             device,
+            tracer,
             commands: Vec::new(),
         }
+    }
+
+    /// The kernel's tracing handle (disabled unless the kernel enabled it).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Unpark a held task.
@@ -201,7 +218,8 @@ impl<'a> SchedCtx<'a> {
 
     /// Kick asynchronous writeback.
     pub fn start_writeback(&mut self, file: Option<FileId>, max_pages: u64) {
-        self.commands.push(SchedCmd::StartWriteback { file, max_pages });
+        self.commands
+            .push(SchedCmd::StartWriteback { file, max_pages });
     }
 
     /// Re-poll block dispatch.

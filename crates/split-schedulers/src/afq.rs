@@ -136,7 +136,13 @@ impl Afq {
         self.last_charge.insert(pid, now);
     }
 
-    fn charge_causes(&mut self, causes: &sim_core::CauseSet, submitter: Pid, secs: f64, now: SimTime) {
+    fn charge_causes(
+        &mut self,
+        causes: &sim_core::CauseSet,
+        submitter: Pid,
+        secs: f64,
+        now: SimTime,
+    ) {
         if causes.is_empty() {
             self.charge(submitter, secs, now);
         } else {
@@ -301,10 +307,13 @@ impl IoSched for Afq {
 
     fn block_add(&mut self, req: Request, ctx: &mut SchedCtx<'_>) {
         if req.is_read() {
-            let q = self.reads.entry(req.submitter).or_insert_with(|| ReadQueue {
-                requests: SortedQueue::new(),
-                pos: BlockNo(0),
-            });
+            let q = self
+                .reads
+                .entry(req.submitter)
+                .or_insert_with(|| ReadQueue {
+                    requests: SortedQueue::new(),
+                    pos: BlockNo(0),
+                });
             q.requests.insert(req);
         } else {
             self.writes.push_back(req);

@@ -106,6 +106,7 @@ impl IoSched for ScsToken {
             // billed nothing — SCS cannot estimate its cost.
             SyscallKind::Read { .. } | SyscallKind::Fsync { .. } => {}
         }
+        self.buckets.sample(ctx.tracer(), ctx.now);
         if self.buckets.may_proceed(sc.pid, ctx.now) {
             return Gate::Proceed;
         }

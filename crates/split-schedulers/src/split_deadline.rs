@@ -492,7 +492,10 @@ mod tests {
     fn expensive_fsyncs_are_held_and_drained() {
         let dev = HddModel::new();
         let mut s = SplitDeadline::new();
-        s.configure(Pid(1), SchedAttr::FsyncDeadline(SimDuration::from_millis(100)));
+        s.configure(
+            Pid(1),
+            SchedAttr::FsyncDeadline(SimDuration::from_millis(100)),
+        );
         let mut ctx = ctx_at(&dev, 0);
         // 200 scattered pages: ~1.6 s of estimated random-write cost.
         for i in 0..200 {
@@ -515,7 +518,10 @@ mod tests {
     fn draining_the_file_admits_the_fsync() {
         let dev = HddModel::new();
         let mut s = SplitDeadline::new();
-        s.configure(Pid(1), SchedAttr::FsyncDeadline(SimDuration::from_millis(500)));
+        s.configure(
+            Pid(1),
+            SchedAttr::FsyncDeadline(SimDuration::from_millis(500)),
+        );
         let mut ctx = ctx_at(&dev, 0);
         for i in 0..100 {
             s.buffer_dirtied(&dirty(3, i * 50), &mut ctx);
@@ -552,7 +558,10 @@ mod tests {
     fn deadline_pressure_forces_admission() {
         let dev = HddModel::new();
         let mut s = SplitDeadline::new();
-        s.configure(Pid(1), SchedAttr::FsyncDeadline(SimDuration::from_millis(50)));
+        s.configure(
+            Pid(1),
+            SchedAttr::FsyncDeadline(SimDuration::from_millis(50)),
+        );
         let mut ctx = ctx_at(&dev, 0);
         for i in 0..500 {
             s.buffer_dirtied(&dirty(4, i * 100), &mut ctx);

@@ -20,9 +20,7 @@ use sim_block::sorted::SortedQueue;
 use sim_block::{Dispatch, ReqKind, Request};
 use sim_core::{BlockNo, FileId, Pid, SimDuration, SimTime};
 use sim_device::IoDir;
-use split_core::{
-    BufferDirtied, BufferFreed, Gate, IoSched, SchedAttr, SchedCtx, SyscallInfo,
-};
+use split_core::{BufferDirtied, BufferFreed, Gate, IoSched, SchedAttr, SchedCtx, SyscallInfo};
 
 use crate::tokens::TokenBuckets;
 
@@ -195,6 +193,7 @@ impl IoSched for SplitToken {
         for (pid, share) in ev.causes.shares(norm) {
             self.buckets.charge(pid, share, ctx.now);
         }
+        self.buckets.sample(ctx.tracer(), ctx.now);
         let p = self.prelim.entry(ev.file).or_default();
         p.norm_bytes += norm;
         p.pages += 1;
@@ -249,7 +248,11 @@ impl IoSched for SplitToken {
             let n = self.rr_readers.len();
             for _ in 0..n {
                 let pid = self.rr_readers.remove(0);
-                let has_work = self.reads.get(&pid).map(|q| !q.0.is_empty()).unwrap_or(false);
+                let has_work = self
+                    .reads
+                    .get(&pid)
+                    .map(|q| !q.0.is_empty())
+                    .unwrap_or(false);
                 if !has_work {
                     continue; // drops out; re-added on next request
                 }

@@ -7,6 +7,7 @@
 use std::collections::HashMap;
 
 use sim_core::{Pid, SimDuration, SimTime};
+use sim_trace::Tracer;
 
 /// Identifies a bucket: by default each pid has its own; pids may be
 /// joined into shared group buckets (VM instances, HDFS accounts).
@@ -134,7 +135,28 @@ impl TokenBuckets {
 
     /// Whether `pid` may proceed (unthrottled or non-negative balance).
     pub fn may_proceed(&mut self, pid: Pid, now: SimTime) -> bool {
-        self.balance(pid, now).map_or(true, |t| t >= 0.0)
+        self.balance(pid, now).is_none_or(|t| t >= 0.0)
+    }
+
+    /// Sample every bucket's balance into `tracer` as a `sched.tokens/<key>`
+    /// gauge: per-process buckets key by pid, group buckets by `2^32 + g`
+    /// (pids are 32-bit, so the ranges can't collide). No-op when tracing
+    /// is off; iteration is in sorted bucket order for determinism.
+    pub fn sample(&mut self, tracer: &Tracer, now: SimTime) {
+        if !tracer.enabled() {
+            return;
+        }
+        let mut ids: Vec<BucketId> = self.buckets.keys().copied().collect();
+        ids.sort();
+        for id in ids {
+            let key = match id {
+                BucketId::Proc(p) => p.raw() as u64,
+                BucketId::Group(g) => (1u64 << 32) + g as u64,
+            };
+            let b = self.buckets.get_mut(&id).expect("bucket just listed");
+            b.refill(now);
+            tracer.gauge_key("sched.tokens", key, now, b.tokens);
+        }
     }
 
     /// When `pid`'s bucket will next be non-negative (`None` if already,
@@ -179,7 +201,7 @@ mod tests {
     fn charge_refill_cycle() {
         let mut b = TokenBuckets::new();
         b.set_rate(Pid(1), 1_000_000, t(0)); // 1 MB/s
-        // Starts full (1 MB); charge 3 MB → 2 s of debt.
+                                             // Starts full (1 MB); charge 3 MB → 2 s of debt.
         b.charge(Pid(1), 3e6, t(0));
         assert!(!b.may_proceed(Pid(1), t(0)));
         assert_eq!(b.ready_at(Pid(1), t(0)), Some(t(2)));

@@ -25,10 +25,16 @@ fn main() {
     const GB: u64 = 1 << 30;
     // Tenant A streams inside its VM.
     let a_file = world.prealloc_file(vm_a.kernel, 2 * GB, true);
-    let a = world.spawn(vm_a.kernel, Box::new(SeqReader::new(a_file, 2 * GB, 1 << 20)));
+    let a = world.spawn(
+        vm_a.kernel,
+        Box::new(SeqReader::new(a_file, 2 * GB, 1 << 20)),
+    );
     // Tenant B hammers random reads inside its VM.
     let b_file = world.prealloc_file(vm_b.kernel, 2 * GB, false);
-    let b = world.spawn(vm_b.kernel, Box::new(RandReader::new(b_file, 2 * GB, 4096, 9)));
+    let b = world.spawn(
+        vm_b.kernel,
+        Box::new(RandReader::new(b_file, 2 * GB, 4096, 9)),
+    );
 
     // Throttle *the whole B VM*: the host-side VMM process that performs
     // B's I/O is the unit of accounting.

@@ -22,8 +22,10 @@ fn run_db(split: bool) -> (usize, f64, f64) {
     } else {
         Box::new(BlockOnly::new(BlockDeadline::new()))
     };
-    let mut cfg = KernelConfig::default();
-    cfg.pdflush = !split; // Split-Deadline owns writeback itself
+    let cfg = KernelConfig {
+        pdflush: !split, // Split-Deadline owns writeback itself
+        ..Default::default()
+    };
     let kernel = world.add_kernel(cfg, DeviceKind::hdd(), sched);
 
     const MB: u64 = 1 << 20;
@@ -38,11 +40,22 @@ fn run_db(split: bool) -> (usize, f64, f64) {
         kernel,
         Box::new(TxnWorker::new(db_cfg, shared.clone(), db_file, wal_file, 1)),
     );
-    let cp = world.spawn(kernel, Box::new(Checkpointer::new(db_cfg, shared.clone(), db_file)));
+    let cp = world.spawn(
+        kernel,
+        Box::new(Checkpointer::new(db_cfg, shared.clone(), db_file)),
+    );
     if split {
         // Short deadline for log commits, long for checkpoints.
-        world.configure(kernel, worker, SchedAttr::FsyncDeadline(SimDuration::from_millis(100)));
-        world.configure(kernel, cp, SchedAttr::FsyncDeadline(SimDuration::from_secs(10)));
+        world.configure(
+            kernel,
+            worker,
+            SchedAttr::FsyncDeadline(SimDuration::from_millis(100)),
+        );
+        world.configure(
+            kernel,
+            cp,
+            SchedAttr::FsyncDeadline(SimDuration::from_secs(10)),
+        );
     }
     world.run_for(SimDuration::from_secs(25));
     let sh = shared.borrow();

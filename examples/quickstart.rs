@@ -34,9 +34,18 @@ fn main() {
 
     let stats = &world.kernel(kernel).stats;
     println!("after {:.0} simulated seconds:", window.as_secs_f64());
-    println!("  A (unthrottled reader): {:6.1} MB/s", stats.read_mbps(a, window));
-    println!("  B (throttled writer):   {:6.1} MB/s buffered", stats.write_mbps(b, window));
-    let gated = stats.proc(b).map(|s| s.gated_time).unwrap_or(SimDuration::ZERO);
+    println!(
+        "  A (unthrottled reader): {:6.1} MB/s",
+        stats.read_mbps(a, window)
+    );
+    println!(
+        "  B (throttled writer):   {:6.1} MB/s buffered",
+        stats.write_mbps(b, window)
+    );
+    let gated = stats
+        .proc(b)
+        .map(|s| s.gated_time)
+        .unwrap_or(SimDuration::ZERO);
     println!(
         "  B spent {:.1} s held at the syscall gate paying off its token debt",
         gated.as_secs_f64()

@@ -56,13 +56,13 @@ fn main() {
     world.run_for(SimDuration::from_secs(1));
 
     let kernel = world.kernel(k);
-    let trace = kernel.trace().expect("tracing enabled");
+    let records = kernel.trace_records().expect("tracing enabled");
     println!("block requests for A's fsync (A wrote 4 KB; B wrote 64 KB, no fsync):\n");
     println!(
         "{:>10}  {:>9}  {:<8} {:<9} {:>9}  causes",
         "t (ms)", "queue ms", "dir", "kind", "submitter"
     );
-    for r in trace.records() {
+    for r in &records {
         let causes: Vec<String> = r.causes.iter().map(|p| p.raw().to_string()).collect();
         println!(
             "{:>10.3}  {:>9.3}  {:<8?} {:<9?} {:>9}  {{{}}}",

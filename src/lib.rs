@@ -60,9 +60,7 @@ pub use split_schedulers as schedulers;
 /// The most common imports for building simulations.
 pub mod prelude {
     pub use sim_block::{BlockDeadline, Cfq, IoPrio, Noop, PrioClass};
-    pub use sim_core::{
-        CauseSet, FileId, KernelId, Pid, SimDuration, SimTime, PAGE_SIZE,
-    };
+    pub use sim_core::{CauseSet, FileId, KernelId, Pid, SimDuration, SimTime, PAGE_SIZE};
     pub use sim_device::{DiskModel, HddModel, SsdModel};
     pub use sim_kernel::{
         DeviceKind, FsChoice, KernelConfig, Outcome, ProcAction, ProcessLogic, World,

@@ -105,7 +105,13 @@ fn block_level_costs_differ_per_pattern_while_bytes_do_not() {
         };
         world.run_for(SimDuration::from_secs(2));
         let st = world.kernel(k).stats.proc(pid).unwrap();
-        let disk = world.kernel(k).stats.disk_time.get(&pid).copied().unwrap_or(0.0);
+        let disk = world
+            .kernel(k)
+            .stats
+            .disk_time
+            .get(&pid)
+            .copied()
+            .unwrap_or(0.0);
         (st.read_bytes, disk)
     };
     let (seq_bytes, seq_time) = measure(true);
@@ -132,8 +138,10 @@ fn syscall_gating_reorders_what_the_block_level_cannot() {
         } else {
             Box::new(BlockOnly::new(BlockDeadline::new()))
         };
-        let mut cfg = KernelConfig::default();
-        cfg.pdflush = !split;
+        let cfg = KernelConfig {
+            pdflush: !split,
+            ..Default::default()
+        };
         let k = world.add_kernel(cfg, DeviceKind::hdd(), sched);
         let fa = world.prealloc_file(k, 64 * MB, true);
         let fb = world.prealloc_file(k, 1 << 30, true);
@@ -152,7 +160,11 @@ fn syscall_gating_reorders_what_the_block_level_cannot() {
             )),
         );
         if split {
-            world.configure(k, a, SchedAttr::FsyncDeadline(SimDuration::from_millis(100)));
+            world.configure(
+                k,
+                a,
+                SchedAttr::FsyncDeadline(SimDuration::from_millis(100)),
+            );
         }
         world.run_for(SimDuration::from_secs(10));
         let st = world.kernel(k).stats.proc(a).unwrap();

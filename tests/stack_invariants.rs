@@ -1,7 +1,8 @@
-//! Whole-stack invariants under randomized workloads (property-based):
-//! no scheduler deadlocks, accounting is conserved, determinism holds.
+//! Whole-stack invariants under randomized workloads: no scheduler
+//! deadlocks, accounting is conserved, determinism holds. Driven by
+//! `SimRng` so the case set is deterministic and dependency-free.
 
-use proptest::prelude::*;
+use sim_core::rng::SimRng;
 use split_level_io::prelude::*;
 
 const MB: u64 = 1 << 20;
@@ -16,19 +17,23 @@ enum Wl {
     CreatLoop,
 }
 
-fn wl_strategy() -> impl Strategy<Value = Wl> {
-    prop_oneof![
-        (1u64..512).prop_map(|req_kb| Wl::SeqRead { req_kb }),
-        any::<u64>().prop_map(|seed| Wl::RandRead { seed }),
-        (1u64..512).prop_map(|req_kb| Wl::SeqWrite { req_kb }),
-        any::<u64>().prop_map(|seed| Wl::RandWrite { seed }),
-        Just(Wl::FsyncAppend),
-        Just(Wl::CreatLoop),
-    ]
-}
-
-fn sched_strategy() -> impl Strategy<Value = u8> {
-    0u8..6
+fn rand_wl(rng: &mut SimRng) -> Wl {
+    match rng.gen_range(6) {
+        0 => Wl::SeqRead {
+            req_kb: 1 + rng.gen_range(511),
+        },
+        1 => Wl::RandRead {
+            seed: rng.next_u64(),
+        },
+        2 => Wl::SeqWrite {
+            req_kb: 1 + rng.gen_range(511),
+        },
+        3 => Wl::RandWrite {
+            seed: rng.next_u64(),
+        },
+        4 => Wl::FsyncAppend,
+        _ => Wl::CreatLoop,
+    }
 }
 
 fn build_sched(tag: u8) -> Box<dyn IoSched> {
@@ -44,8 +49,10 @@ fn build_sched(tag: u8) -> Box<dyn IoSched> {
 
 fn run_mix(tag: u8, wls: &[Wl]) -> (u64, u64, u64) {
     let mut world = World::new();
-    let mut cfg = KernelConfig::default();
-    cfg.pdflush = tag != 4; // SplitDeadline owns writeback
+    let cfg = KernelConfig {
+        pdflush: tag != 4, // SplitDeadline owns writeback
+        ..Default::default()
+    };
     let k = world.add_kernel(cfg, DeviceKind::hdd(), build_sched(tag));
     let mut pids = Vec::new();
     for (i, wl) in wls.iter().enumerate() {
@@ -92,40 +99,38 @@ fn run_mix(tag: u8, wls: &[Wl]) -> (u64, u64, u64) {
         .filter_map(|p| stats.proc(*p))
         .map(|s| s.reads + s.writes + s.fsyncs.len() as u64 + s.meta_ops.len() as u64)
         .sum();
-    (
-        total_ops,
-        stats.requests_dispatched,
-        stats.device_bytes,
-    )
+    (total_ops, stats.requests_dispatched, stats.device_bytes)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Any mix of workloads on any scheduler makes progress and never
-    /// wedges the event loop.
-    #[test]
-    fn no_scheduler_deadlocks(
-        tag in sched_strategy(),
-        wls in proptest::collection::vec(wl_strategy(), 1..5),
-    ) {
+/// Any mix of workloads on any scheduler makes progress and never
+/// wedges the event loop.
+#[test]
+fn no_scheduler_deadlocks() {
+    let mut rng = SimRng::seed_from_u64(0xDEAD10C);
+    for case in 0..12 {
+        let tag = rng.gen_range(6) as u8;
+        let n = 1 + rng.gen_range(4) as usize;
+        let wls: Vec<Wl> = (0..n).map(|_| rand_wl(&mut rng)).collect();
         let (ops, dispatched, bytes) = run_mix(tag, &wls);
-        prop_assert!(ops > 0, "workloads must complete syscalls");
+        assert!(ops > 0, "case {case}: workloads must complete syscalls");
         // If anything did I/O, bytes moved match dispatches sanely.
         if dispatched > 0 {
-            prop_assert!(bytes >= dispatched * 4096);
+            assert!(bytes >= dispatched * 4096, "case {case}");
         }
     }
+}
 
-    /// Same inputs, same result: the whole stack is deterministic.
-    #[test]
-    fn determinism(
-        tag in sched_strategy(),
-        wls in proptest::collection::vec(wl_strategy(), 1..4),
-    ) {
+/// Same inputs, same result: the whole stack is deterministic.
+#[test]
+fn determinism() {
+    let mut rng = SimRng::seed_from_u64(0x5A5A);
+    for _ in 0..4 {
+        let tag = rng.gen_range(6) as u8;
+        let n = 1 + rng.gen_range(3) as usize;
+        let wls: Vec<Wl> = (0..n).map(|_| rand_wl(&mut rng)).collect();
         let a = run_mix(tag, &wls);
         let b = run_mix(tag, &wls);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 }
 
@@ -146,7 +151,11 @@ fn device_bytes_match_completed_reads() {
     let dev = world.kernel(k).stats.device_bytes;
     // Device may be one request ahead (in flight at the cutoff).
     assert!(dev >= st.read_bytes);
-    assert!(dev <= st.read_bytes + 2 * MB, "dev {dev} vs proc {}", st.read_bytes);
+    assert!(
+        dev <= st.read_bytes + 2 * MB,
+        "dev {dev} vs proc {}",
+        st.read_bytes
+    );
 }
 
 /// Disk-time accounting sums to (at most) the elapsed window.
