@@ -86,7 +86,16 @@ impl Cfq {
     }
 
     /// CFQ with explicit tunables.
+    ///
+    /// # Panics
+    ///
+    /// Rejects zero-length base slices at construction: a zero slice
+    /// would expire the moment it starts and spin the dispatch loop.
     pub fn with_config(cfg: CfqConfig) -> Self {
+        assert!(
+            cfg.base_slice_sync > SimDuration::ZERO && cfg.base_slice_async > SimDuration::ZERO,
+            "CFQ base slices must be non-zero"
+        );
         Cfq {
             cfg,
             queues: HashMap::new(),
@@ -103,7 +112,14 @@ impl Cfq {
         } else {
             self.cfg.base_slice_async
         };
-        base.mul_f64(weight.max(1) as f64 / 4.0)
+        // Weight 4 (the default best-effort level) is the neutral share.
+        // Exact integer math — the old `weight as f64 / 4.0` detour could
+        // round the product, and its `.max(1)` clamp silently papered
+        // over weight 0, which is now rejected when the priority is
+        // configured (see [`Cfq::add`] / `IoPrio::weight`).
+        debug_assert!(weight > 0, "weights are validated at config time");
+        let nanos = base.as_nanos() as u128 * weight as u128 / 4;
+        SimDuration::from_nanos(nanos.min(u64::MAX as u128) as u64)
     }
 
     fn enqueue_rr(&mut self, key: QueueKey, class: PrioClass) {
@@ -386,6 +402,32 @@ mod tests {
         e.add(r1, SimTime::ZERO);
         e.add(r2, SimTime::ZERO);
         assert_eq!(e.queues.len(), 1, "one shared writeback queue");
+    }
+
+    #[test]
+    fn slice_math_is_exact_integer_scaling() {
+        let e = Cfq::new();
+        let base = e.cfg.base_slice_sync.as_nanos();
+        for weight in 1..=16u32 {
+            let slice = e.slice_len(weight, true);
+            assert_eq!(
+                slice.as_nanos(),
+                base * weight as u64 / 4,
+                "weight {weight}: no float rounding allowed"
+            );
+        }
+        // Weight 4 is the neutral share: exactly the base slice.
+        assert_eq!(e.slice_len(4, true), e.cfg.base_slice_sync);
+        assert_eq!(e.slice_len(4, false), e.cfg.base_slice_async);
+    }
+
+    #[test]
+    #[should_panic(expected = "base slices must be non-zero")]
+    fn zero_slices_are_rejected_at_config_time() {
+        let _ = Cfq::with_config(CfqConfig {
+            base_slice_sync: SimDuration::ZERO,
+            ..Default::default()
+        });
     }
 
     #[test]

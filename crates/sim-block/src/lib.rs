@@ -70,6 +70,8 @@ impl IoPrio {
     }
 
     /// CFQ's service weight for this priority; higher is more share.
+    /// Always at least 1 — every constructible priority gets a non-zero
+    /// share, and the elevators' slice math relies on that.
     pub fn weight(&self) -> u32 {
         match self.class {
             PrioClass::RealTime => 16,
@@ -194,9 +196,10 @@ mod tests {
         for level in 0..8 {
             let w = IoPrio::best_effort(level).weight();
             assert!(w < last);
+            assert!(w >= 1, "every priority keeps a non-zero share");
             last = w;
         }
-        assert!(IoPrio::idle().weight() <= 1);
+        assert_eq!(IoPrio::idle().weight(), 1);
         assert!(
             IoPrio {
                 class: PrioClass::RealTime,

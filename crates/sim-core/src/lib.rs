@@ -11,6 +11,7 @@
 //! that a simulation run is a pure function of its configuration and seed.
 
 pub mod causes;
+pub mod error;
 pub mod event;
 pub mod ids;
 pub mod rng;
@@ -18,6 +19,7 @@ pub mod stats;
 pub mod time;
 
 pub use causes::CauseSet;
+pub use error::{IoError, IoErrorKind, IoResult};
 pub use event::{EventQueue, ScheduledEvent};
 pub use ids::{BlockNo, FileId, IdAlloc, KernelId, Pid, RequestId, TxnId};
 pub use rng::SimRng;

@@ -39,9 +39,12 @@ pub struct Percentiles {
 }
 
 impl Percentiles {
-    /// Take ownership of the sample and sort it once.
+    /// Take ownership of the sample and sort it once. NaNs sort to the
+    /// end (IEEE total order) instead of panicking the whole experiment;
+    /// a sample poisoned by NaN then shows up as a NaN tail percentile,
+    /// which is debuggable, where a panic mid-run loses the figure.
     pub fn new(mut xs: Vec<f64>) -> Self {
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+        xs.sort_by(|a, b| a.total_cmp(b));
         Percentiles { sorted: xs }
     }
 

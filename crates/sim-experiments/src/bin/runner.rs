@@ -1,9 +1,9 @@
 //! Experiment runner: regenerates the paper's tables and figures.
 //!
 //! ```text
-//! runner [--paper] [--csv] [--trace] [fig01|fig03|fig05|fig06|fig09|
-//!         fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|
-//!         fig20|fig21|ablations|breakdown|all]
+//! runner [--paper] [--csv] [--trace] [--faults] [fig01|fig03|fig05|
+//!         fig06|fig09|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|
+//!         fig18|fig19|fig20|fig21|ablations|breakdown|faults|all]
 //! ```
 //!
 //! `--paper` uses the longer paper-scale configurations; the default
@@ -12,7 +12,11 @@
 //! `--trace` runs fig12 with span tracing on and writes Chrome
 //! trace-event JSON (open in Perfetto / `chrome://tracing`) under
 //! `results/`. `breakdown` prints the per-layer fsync latency
-//! decomposition table.
+//! decomposition table. `--faults` (or the `faults` target) runs the
+//! fault-injection sweep: power-cut replay across every journal
+//! protocol step plus a device-write-failure sweep through the full
+//! stack. It is *not* part of `all` — the figures stay a fault-free,
+//! bit-reproducible baseline.
 
 use sim_experiments as exp;
 
@@ -42,8 +46,36 @@ fn main() {
         .filter(|a| !a.starts_with("--"))
         .map(|s| s.as_str())
         .collect();
-    let all = which.is_empty() || which.contains(&"all");
+    // The fault sweep is opt-in only: `all` keeps producing the fault-free
+    // baseline figures, bit-identical run to run.
+    let faults = args.iter().any(|a| a == "--faults") || which.contains(&"faults");
+    let which: Vec<&str> = which.into_iter().filter(|n| *n != "faults").collect();
+    let all = (which.is_empty() && !faults) || which.contains(&"all");
     let want = |name: &str| all || which.contains(&name);
+
+    if faults {
+        let cfg = if paper {
+            exp::fault_sweep::Config::paper()
+        } else {
+            exp::fault_sweep::Config::quick()
+        };
+        let r = exp::fault_sweep::run(&cfg);
+        println!("{r}\n");
+        if csv {
+            let mut out = String::from("nth_write,io_errors,journal_aborts,fsyncs_ok,fsyncs_eio\n");
+            for p in &r.fault_points {
+                out.push_str(&format!(
+                    "{},{},{},{},{}\n",
+                    p.nth_write, p.io_errors, p.journal_aborts, p.fsyncs_ok, p.fsyncs_failed
+                ));
+            }
+            write_csv("fault_sweep", &out);
+        }
+        if r.total_violations() > 0 {
+            eprintln!("FAIL: {} consistency violation(s)", r.total_violations());
+            std::process::exit(1);
+        }
+    }
 
     if want("fig01") {
         let cfg = if paper {

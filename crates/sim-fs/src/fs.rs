@@ -15,8 +15,12 @@ use std::collections::{HashMap, HashSet};
 
 use sim_block::ReqKind;
 use sim_cache::PageCache;
-use sim_core::{BlockNo, CauseSet, FileId, IdAlloc, Pid, SimDuration, SimRng, SimTime, TxnId};
+use sim_core::{
+    BlockNo, CauseSet, FileId, IdAlloc, IoError, IoErrorKind, Pid, SimDuration, SimRng, SimTime,
+    TxnId,
+};
 use sim_device::IoDir;
+use sim_fault::WriteStep;
 use sim_trace::{Layer, SpanId, Tracer};
 use split_core::ProxyRegistry;
 
@@ -153,6 +157,10 @@ pub struct JournaledFs {
     meta_zone_rng: SimRng,
     last_timer: SimTime,
     tracer: Tracer,
+    /// Set when a journal write failed; the file system then refuses to
+    /// start commits and fails every fsync, as ext4 does after a jbd2
+    /// abort. `None` on the (infallible) happy path.
+    aborted: Option<IoError>,
 }
 
 /// ext4 preset.
@@ -195,6 +203,7 @@ impl JournaledFs {
             meta_zone_rng: SimRng::seed_from_u64(cfg.seed ^ 0x6d65_7461),
             last_timer: SimTime::ZERO,
             tracer: Tracer::new(),
+            aborted: None,
         }
     }
 
@@ -316,6 +325,7 @@ impl JournaledFs {
                         sync,
                         file: Some(file),
                         kind: ReqKind::Data,
+                        step: WriteStep::Data { file },
                     });
                     off += chunk;
                 }
@@ -326,7 +336,7 @@ impl JournaledFs {
 
     /// Start a commit if one is wanted and none is in flight.
     fn maybe_start_commit(&mut self, cache: &mut PageCache, now: SimTime, out: &mut FsOutput) {
-        if self.commit.is_some() || !self.journal.wants_commit(now) {
+        if self.aborted.is_some() || self.commit.is_some() || !self.journal.wants_commit(now) {
             return;
         }
         let txn = self.journal.seal();
@@ -388,9 +398,15 @@ impl JournaledFs {
 
     /// Phase 2: write the log body.
     fn write_log(&mut self, _now: SimTime, out: &mut FsOutput) {
-        let commit = self.commit.as_mut().expect("commit in flight");
+        // Tolerate a vanished commit (journal abort races a completion).
+        let Some(commit) = self.commit.as_mut() else {
+            return;
+        };
         commit.phase = CommitPhase::WritingLog;
-        let nblocks = self.journal.log_blocks_for(commit.txn.meta_blocks);
+        let txn = commit.txn.id;
+        let ordered = commit.txn.ordered.clone();
+        let meta_blocks = commit.txn.meta_blocks;
+        let nblocks = self.journal.log_blocks_for(meta_blocks);
         let start = self.journal.reserve_log(nblocks);
         let causes = if self.cfg.tag_journal {
             self.proxies.resolve(self.journal_pid)
@@ -402,7 +418,7 @@ impl JournaledFs {
         self.owners.insert(tok, TokenOwner::JournalLog);
         self.commit
             .as_mut()
-            .expect("commit in flight")
+            .expect("checked above")
             .pending
             .insert(tok);
         out.ios.push(IoReq {
@@ -415,6 +431,7 @@ impl JournaledFs {
             sync: true,
             file: None,
             kind: ReqKind::Journal,
+            step: WriteStep::JournalLog { txn, ordered },
         });
     }
 
@@ -429,9 +446,12 @@ impl JournaledFs {
         };
         let tok = IoToken(self.tokens.next());
         self.owners.insert(tok, TokenOwner::CommitRecord);
-        let commit = self.commit.as_mut().expect("commit in flight");
+        let Some(commit) = self.commit.as_mut() else {
+            return;
+        };
         commit.phase = CommitPhase::WritingCommitRecord;
         commit.pending.insert(tok);
+        let txn = commit.txn.id;
         out.ios.push(IoReq {
             token: tok,
             dir: IoDir::Write,
@@ -442,6 +462,7 @@ impl JournaledFs {
             sync: true,
             file: None,
             kind: ReqKind::Journal,
+            step: WriteStep::CommitRecord { txn },
         });
     }
 
@@ -475,12 +496,69 @@ impl JournaledFs {
                 sync: false,
                 file: None,
                 kind: ReqKind::Metadata,
+                step: WriteStep::Checkpoint { txn: commit.txn.id },
             });
         }
         // Wake fsyncs that were waiting on this transaction.
         self.resolve_fsyncs(now, out);
         // Chain the next commit if someone already asked for it.
         self.maybe_start_commit(cache, now, out);
+    }
+
+    /// If the journal has aborted, the reason.
+    pub fn journal_aborted(&self) -> Option<IoError> {
+        self.aborted
+    }
+
+    /// A journal write (log body or commit record) failed: abort. The
+    /// in-flight commit is dropped, every outstanding fsync fails, and
+    /// [`JournaledFs::maybe_start_commit`] refuses new commits from here
+    /// on — modeled on jbd2's abort semantics.
+    fn abort_journal(&mut self, cause: IoError, now: SimTime, out: &mut FsOutput) {
+        if self.aborted.is_some() {
+            return;
+        }
+        let error = IoError {
+            kind: IoErrorKind::JournalAborted,
+            req: cause.req,
+        };
+        self.aborted = Some(error);
+        if let Some(commit) = self.commit.take() {
+            self.tracer.end_current(self.journal_pid, commit.span, now);
+            out.events.push(FsEvent::JournalAborted {
+                txn: commit.txn.id,
+                error,
+            });
+        }
+        self.proxies.clear(self.journal_pid);
+        self.fail_fsyncs(|_| true, error, now, out);
+    }
+
+    /// Fail and remove every fsync matching `pred`, firing `FsyncFailed`.
+    fn fail_fsyncs(
+        &mut self,
+        pred: impl Fn(&FsyncState) -> bool,
+        error: IoError,
+        now: SimTime,
+        out: &mut FsOutput,
+    ) {
+        let mut ids: Vec<u64> = self
+            .fsyncs
+            .iter()
+            .filter(|(_, st)| pred(st))
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        for id in ids {
+            let st = self.fsyncs.remove(&id).expect("present");
+            self.tracer.end(st.data_span, now);
+            self.tracer.end(st.txn_span, now);
+            out.events.push(FsEvent::FsyncFailed {
+                file: st.file,
+                waiter: st.waiter,
+                error,
+            });
+        }
     }
 
     /// Fire `FsyncDone` for every fsync whose data is flushed and whose
@@ -580,6 +658,16 @@ impl FileSystem for JournaledFs {
 
     fn fsync(&mut self, file: FileId, pid: Pid, cache: &mut PageCache, now: SimTime) -> FsOutput {
         let mut out = FsOutput::none();
+        // After a journal abort no durability can be promised; fail fast,
+        // as ext4 does once jbd2 is aborted.
+        if let Some(error) = self.aborted {
+            out.events.push(FsEvent::FsyncFailed {
+                file,
+                waiter: pid,
+                error,
+            });
+            return out;
+        }
         let id = self.fsync_ids.next();
         // fsync must wait for data writes already in flight (e.g. an
         // earlier writeback pass) as well as the ones it issues itself.
@@ -820,6 +908,73 @@ impl FileSystem for JournaledFs {
         out
     }
 
+    fn io_failed(
+        &mut self,
+        token: IoToken,
+        error: IoError,
+        cache: &mut PageCache,
+        now: SimTime,
+    ) -> FsOutput {
+        let mut out = FsOutput::none();
+        let Some(owner) = self.owners.remove(&token) else {
+            return out;
+        };
+        match owner {
+            TokenOwner::Data {
+                file,
+                fsync: _,
+                wb_pass,
+            } => {
+                if let Some(set) = self.inflight_data.get_mut(&file) {
+                    set.remove(&token);
+                    if set.is_empty() {
+                        self.inflight_data.remove(&file);
+                    }
+                }
+                // Every fsync waiting on this write fails with the device
+                // error — fsync(2) returning EIO.
+                self.fail_fsyncs(|st| st.pending_data.contains(&token), error, now, &mut out);
+                // The writeback pass still drains: the pages are no longer
+                // dirty (their content is simply lost), and the daemon must
+                // not wait forever.
+                if let Some(pass) = wb_pass {
+                    let done = if let Some(wb) = self.wb_passes.get_mut(&pass) {
+                        wb.pending.remove(&token);
+                        wb.pending.is_empty()
+                    } else {
+                        false
+                    };
+                    if done {
+                        let wb = self.wb_passes.remove(&pass).expect("present");
+                        self.proxies.clear(self.writeback_pid);
+                        self.tracer.end_current(self.writeback_pid, wb.span, now);
+                        out.events.push(FsEvent::WritebackDone { pages: wb.pages });
+                    }
+                }
+                // An ordered flush of a committing transaction: the commit
+                // proceeds — ordered mode reports data errors through
+                // fsync, a failed data write does not corrupt the journal.
+                if let Some(c) = self.commit.as_mut() {
+                    if c.phase == CommitPhase::FlushingData {
+                        c.pending.remove(&token);
+                        if c.pending.is_empty() {
+                            self.write_log(now, &mut out);
+                        }
+                    }
+                }
+                self.resolve_fsyncs(now, &mut out);
+            }
+            TokenOwner::JournalLog | TokenOwner::CommitRecord => {
+                self.abort_journal(error, now, &mut out);
+            }
+            // Checkpoints are fire-and-forget: replay redoes them from the
+            // durable log, so a lost checkpoint costs nothing.
+            TokenOwner::Checkpoint => {}
+        }
+        let _ = cache;
+        out
+    }
+
     fn timer(&mut self, cache: &mut PageCache, now: SimTime) -> FsOutput {
         let mut out = FsOutput::none();
         self.last_timer = now;
@@ -921,6 +1076,17 @@ mod tests {
         fn fsync(&mut self, file: FileId, pid: Pid) {
             let out = self.fs.fsync(file, pid, &mut self.cache, self.now);
             self.absorb(out);
+        }
+
+        /// Fail the next pending I/O with a transient device error.
+        fn fail_next(&mut self) -> Option<IoReq> {
+            let io = self.pending.pop_front()?;
+            self.now += SimDuration::from_micros(100);
+            let err = IoError::new(IoErrorKind::TransientDevice);
+            let out = self.fs.io_failed(io.token, err, &mut self.cache, self.now);
+            self.absorb(out);
+            self.completed.push(io.clone());
+            Some(io)
         }
 
         /// Complete one pending I/O (FIFO).
@@ -1155,6 +1321,79 @@ mod tests {
             .filter(|e| matches!(e, FsEvent::FsyncDone { .. }))
             .count();
         assert_eq!(fsyncs, 2);
+    }
+
+    #[test]
+    fn failed_data_write_fails_the_fsync_but_not_the_journal() {
+        let mut h = Harness::ext4();
+        let (f, _) = h.fs.create_file(Pid(1), h.now);
+        h.write(f, Pid(1), 0, 4 * sim_core::PAGE_SIZE);
+        h.fsync(f, Pid(1));
+        h.fail_next().expect("the data write");
+        h.run_to_quiescence();
+        assert!(!h.fsync_done_for(Pid(1)));
+        assert!(h.events.iter().any(|e| matches!(
+            e,
+            FsEvent::FsyncFailed { waiter, error, .. }
+                if *waiter == Pid(1) && error.kind == IoErrorKind::TransientDevice
+        )));
+        // Ordered mode: a data error surfaces via fsync, the journal
+        // itself stays healthy and the commit still lands.
+        assert!(h.fs.journal_aborted().is_none());
+        assert!(h
+            .events
+            .iter()
+            .any(|e| matches!(e, FsEvent::TxnCommitted { .. })));
+    }
+
+    #[test]
+    fn failed_journal_write_aborts_and_fails_future_fsyncs() {
+        let mut h = Harness::ext4();
+        let (f, _) = h.fs.create_file(Pid(1), h.now);
+        h.write(f, Pid(1), 0, sim_core::PAGE_SIZE);
+        h.fsync(f, Pid(1));
+        // Drain up to the journal log write, then fail it.
+        while let Some(io) = h.pending.front() {
+            if io.kind == ReqKind::Journal {
+                break;
+            }
+            h.complete_one();
+        }
+        let failed = h.fail_next().expect("the journal log write");
+        assert_eq!(failed.kind, ReqKind::Journal);
+        h.run_to_quiescence();
+        assert!(h
+            .events
+            .iter()
+            .any(|e| matches!(e, FsEvent::JournalAborted { .. })));
+        assert!(h.events.iter().any(|e| matches!(
+            e,
+            FsEvent::FsyncFailed { waiter, error, .. }
+                if *waiter == Pid(1) && error.kind == IoErrorKind::JournalAborted
+        )));
+        assert!(h.fs.journal_aborted().is_some());
+        assert!(!h.fsync_done_for(Pid(1)));
+        // Once aborted, every later fsync fails immediately.
+        h.write(f, Pid(2), 0, sim_core::PAGE_SIZE);
+        h.fsync(f, Pid(2));
+        assert!(h.events.iter().any(|e| matches!(
+            e,
+            FsEvent::FsyncFailed { waiter, .. } if *waiter == Pid(2)
+        )));
+    }
+
+    #[test]
+    fn io_reqs_carry_protocol_steps() {
+        let mut h = Harness::ext4();
+        let (f, _) = h.fs.create_file(Pid(1), h.now);
+        h.write(f, Pid(1), 0, sim_core::PAGE_SIZE);
+        h.fsync(f, Pid(1));
+        h.run_to_quiescence();
+        let steps: Vec<&WriteStep> = h.completed.iter().map(|io| &io.step).collect();
+        assert!(matches!(steps[0], WriteStep::Data { file } if *file == f));
+        assert!(matches!(&steps[1], WriteStep::JournalLog { ordered, .. } if ordered.contains(&f)));
+        assert!(matches!(steps[2], WriteStep::CommitRecord { .. }));
+        assert!(matches!(steps[3], WriteStep::Checkpoint { .. }));
     }
 
     #[test]

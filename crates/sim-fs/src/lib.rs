@@ -27,12 +27,13 @@ pub mod fs;
 pub mod journal;
 
 use sim_block::ReqKind;
-use sim_core::{BlockNo, CauseSet, FileId, Pid, SimTime, TxnId};
+use sim_core::{BlockNo, CauseSet, FileId, IoError, Pid, SimTime, TxnId};
 use sim_device::IoDir;
 
 pub use alloc::{Allocator, Extent};
 pub use fs::{Ext4, FsConfig, JournaledFs, Xfs};
 pub use journal::{Journal, JournalConfig};
+pub use sim_fault::WriteStep;
 
 /// Correlation token for I/O the file system submits; handed back in
 /// [`FileSystem::io_completed`].
@@ -63,6 +64,9 @@ pub struct IoReq {
     pub file: Option<FileId>,
     /// Data / journal / metadata.
     pub kind: ReqKind,
+    /// Journal-protocol role of this write; lets the crash harness replay
+    /// recovery without parsing on-disk state. `Untracked` for reads.
+    pub step: WriteStep,
 }
 
 /// Something that became true during a file-system call.
@@ -84,6 +88,25 @@ pub enum FsEvent {
     TxnCommitted {
         /// The transaction.
         txn: TxnId,
+    },
+    /// An `fsync` previously started by `waiter` on `file` failed: some
+    /// write it depended on was lost. Mirrors `fsync(2)` returning `EIO`.
+    FsyncFailed {
+        /// File whose sync failed.
+        file: FileId,
+        /// Process to wake (with an error).
+        waiter: Pid,
+        /// Why.
+        error: IoError,
+    },
+    /// A journal write (log body or commit record) failed; the journal is
+    /// aborted and every subsequent synchronizing operation fails, as
+    /// after a jbd2 abort.
+    JournalAborted {
+        /// The transaction whose commit failed.
+        txn: TxnId,
+        /// The underlying device error.
+        error: IoError,
     },
 }
 
@@ -171,6 +194,19 @@ pub trait FileSystem {
     fn io_completed(
         &mut self,
         token: IoToken,
+        cache: &mut sim_cache::PageCache,
+        now: SimTime,
+    ) -> FsOutput;
+
+    /// A previously submitted [`IoReq`] failed at the device. Dependent
+    /// fsyncs fail ([`FsEvent::FsyncFailed`]) instead of completing; a
+    /// failed journal write aborts the journal
+    /// ([`FsEvent::JournalAborted`]). Never panics — this is the
+    /// error-propagation path.
+    fn io_failed(
+        &mut self,
+        token: IoToken,
+        error: IoError,
         cache: &mut sim_cache::PageCache,
         now: SimTime,
     ) -> FsOutput;

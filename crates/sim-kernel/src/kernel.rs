@@ -8,9 +8,11 @@ use sim_block::{Dispatch, IoPrio, PrioClass, ReqKind, Request};
 use sim_cache::{CacheConfig, PageCache};
 use sim_core::stats::TimeSeries;
 use sim_core::{
-    CauseSet, FileId, IdAlloc, KernelId, Pid, RequestId, SimDuration, SimTime, PAGE_SIZE,
+    CauseSet, FileId, IdAlloc, IoError, IoErrorKind, KernelId, Pid, RequestId, SimDuration,
+    SimTime, PAGE_SIZE,
 };
 use sim_device::{DiskModel, HddModel, SsdModel};
+use sim_fault::{DeviceFaultPlane, Fault};
 use sim_fs::{FileSystem, FsEvent, FsOutput, IoToken, JournaledFs};
 use sim_trace::{Layer, RequestTrace, SpanId, Tracer};
 use split_core::{
@@ -153,6 +155,9 @@ struct CurSyscall {
     span: SpanId,
     /// An open gate-wait or dirty-wait child span, if parked.
     wait_span: SpanId,
+    /// First I/O error hit by this call's requests (fault injection); the
+    /// call completes with `Outcome::Failed` once its I/O drains.
+    error: Option<IoError>,
 }
 
 struct Proc {
@@ -173,6 +178,9 @@ struct ReqMeta {
     queue_span: SpanId,
     /// Device service span (dispatch → completion).
     device_span: SpanId,
+    /// Set at dispatch when the fault plane failed this request; routed to
+    /// `io_failed`/`block_failed` instead of the success paths.
+    failed: Option<IoError>,
 }
 
 /// One simulated machine.
@@ -202,6 +210,9 @@ pub struct Kernel {
     /// Measurements.
     pub stats: KernelStats,
     tracer: Tracer,
+    /// Fault-injection plan, if installed. `None` (the default) keeps the
+    /// dispatch path byte-for-byte identical to the fault-free build.
+    fault_plane: Option<DeviceFaultPlane>,
 }
 
 impl Kernel {
@@ -250,6 +261,7 @@ impl Kernel {
             writeback_pid,
             stats: KernelStats::default(),
             tracer,
+            fault_plane: None,
         }
     }
 
@@ -298,7 +310,14 @@ impl Kernel {
 
     /// Set a process's I/O priority (the `ionice` analogue). Forwarded to
     /// the scheduler as well.
+    ///
+    /// # Panics
+    ///
+    /// Rejects priorities with a zero service weight here, at configure
+    /// time, so the elevators can rely on `weight >= 1` instead of
+    /// clamping deep inside their slice arithmetic.
     pub fn set_ioprio(&mut self, pid: Pid, prio: IoPrio, bus: &mut Bus) {
+        assert!(prio.weight() > 0, "I/O priority weight must be positive");
         self.attrs.entry(pid).or_default().ioprio = prio;
         self.sched_configure(pid, SchedAttr::Prio(prio), bus);
     }
@@ -394,6 +413,18 @@ impl Kernel {
     /// CSV export of the block trace, if tracing was enabled.
     pub fn trace_csv(&self) -> Option<String> {
         self.tracer.with_block_trace(|t| t.to_csv())
+    }
+
+    /// Install a device fault plan. Only physical devices are affected;
+    /// requests on a virtual (host-backed) disk fail through the host's
+    /// own plane instead.
+    pub fn install_fault_plane(&mut self, plane: DeviceFaultPlane) {
+        self.fault_plane = Some(plane);
+    }
+
+    /// The installed fault plane, if any (inspect its injection log).
+    pub fn fault_plane(&self) -> Option<&DeviceFaultPlane> {
+        self.fault_plane.as_ref()
     }
 
     /// The writeback daemon's pid.
@@ -552,6 +583,7 @@ impl Kernel {
                 pending_io: HashSet::new(),
                 span: SpanId::NONE,
                 wait_span: SpanId::NONE,
+                error: None,
             });
         }
         if self.tracer.enabled() {
@@ -789,6 +821,7 @@ impl Kernel {
                 }
                 Outcome::Synced => st.fsyncs.push((now, now.since(entered))),
                 Outcome::Created(_) | Outcome::MetaDone => st.meta_ops.push(now),
+                Outcome::Failed(_) => st.io_errors += 1,
                 Outcome::None => {}
             }
             if let Some(g) = gate_since {
@@ -904,7 +937,27 @@ impl Kernel {
                     }
                     match &mut self.device {
                         DeviceKind::Physical(model) => {
-                            let service = model.service_time(&req.shape());
+                            let mut service = model.service_time(&req.shape());
+                            if let Some(plane) = self.fault_plane.as_mut() {
+                                match plane.on_request(req.id, &req.shape()) {
+                                    Some(Fault::Spike { factor }) => {
+                                        service = service.mul_f64(factor.max(1.0));
+                                    }
+                                    Some(Fault::Transient) => {
+                                        self.req_meta.entry(req.id).or_default().failed =
+                                            Some(IoError::for_request(
+                                                IoErrorKind::TransientDevice,
+                                                req.id,
+                                            ));
+                                    }
+                                    Some(Fault::Torn { .. }) => {
+                                        self.req_meta.entry(req.id).or_default().failed = Some(
+                                            IoError::for_request(IoErrorKind::TornWrite, req.id),
+                                        );
+                                    }
+                                    None => {}
+                                }
+                            }
                             let id = req.id;
                             self.inflight = Some((req, service));
                             bus.q.schedule(
@@ -992,7 +1045,13 @@ impl Kernel {
                     .gauge_key("disk.time_s", pid.raw() as u64, now, total);
             }
         }
-        self.with_sched(bus, |s, ctx| s.block_completed(&req, ctx));
+        let failed = self.req_meta.get(&req.id).and_then(|m| m.failed);
+        if let Some(err) = failed {
+            self.stats.io_errors += 1;
+            self.with_sched(bus, |s, ctx| s.block_failed(&req, err, ctx));
+        } else {
+            self.with_sched(bus, |s, ctx| s.block_completed(&req, ctx));
+        }
         if let Some(meta) = self.req_meta.remove(&req.id) {
             self.tracer.end(meta.device_span, now);
             if meta.dirty_pages > 0 {
@@ -1000,16 +1059,25 @@ impl Kernel {
             }
             if let Some(tok) = meta.fs_token {
                 let now = bus.q.now();
-                let out = self.fs.io_completed(tok, &mut self.cache, now);
+                let out = match failed {
+                    Some(err) => self.fs.io_failed(tok, err, &mut self.cache, now),
+                    None => self.fs.io_completed(tok, &mut self.cache, now),
+                };
                 self.absorb(out, bus);
             }
             if let Some((file, page, len)) = meta.fill {
-                self.cache.fill(file, page, len);
+                // A failed read fills nothing; the reader gets the error.
+                if failed.is_none() {
+                    self.cache.fill(file, page, len);
+                }
             }
             if let Some(pid) = meta.reader {
                 let done = {
                     let proc = self.procs.get_mut(&pid).expect("reader exists");
                     if let Some(cur) = proc.cur.as_mut() {
+                        if let Some(err) = failed {
+                            cur.error.get_or_insert(err);
+                        }
                         cur.pending_io.remove(&req.id);
                         cur.pending_io.is_empty()
                     } else {
@@ -1017,7 +1085,7 @@ impl Kernel {
                     }
                 };
                 if done {
-                    let (len, cpu) = {
+                    let (len, cpu, error) = {
                         let cur = self.procs[&pid].cur.as_ref().expect("in syscall");
                         let len = match cur.kind {
                             SyscallKind::Read { len, .. } => len,
@@ -1030,17 +1098,17 @@ impl Kernel {
                                 + SimDuration::from_nanos(
                                     self.cfg.cpu.per_page_copy.as_nanos() * pages,
                                 ),
+                            cur.error,
                         )
                     };
-                    self.complete_syscall(
-                        pid,
-                        Outcome::Read {
+                    let outcome = match error {
+                        Some(e) => Outcome::Failed(e),
+                        None => Outcome::Read {
                             bytes: len,
                             all_cached: false,
                         },
-                        cpu,
-                        bus,
-                    );
+                    };
+                    self.complete_syscall(pid, outcome, cpu, bus);
                 }
             }
         }
@@ -1221,6 +1289,18 @@ impl Kernel {
                         self.complete_syscall(waiter, Outcome::Synced, cpu, bus);
                     }
                 }
+                FsEvent::FsyncFailed { waiter, error, .. } => {
+                    let in_fsync = self
+                        .procs
+                        .get(&waiter)
+                        .and_then(|p| p.cur.as_ref())
+                        .map(|c| matches!(c.kind, SyscallKind::Fsync { .. }))
+                        .unwrap_or(false);
+                    if in_fsync {
+                        let cpu = self.cfg.cpu.syscall_base;
+                        self.complete_syscall(waiter, Outcome::Failed(error), cpu, bus);
+                    }
+                }
                 FsEvent::WritebackDone { .. } => {
                     self.wb_active = false;
                     if self.cfg.pdflush && self.cache.over_background() {
@@ -1228,6 +1308,9 @@ impl Kernel {
                     }
                 }
                 FsEvent::TxnCommitted { .. } => {}
+                FsEvent::JournalAborted { .. } => {
+                    self.stats.journal_aborts += 1;
+                }
             }
         }
         self.wake_dirty_waiters(bus);

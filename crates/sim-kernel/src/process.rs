@@ -2,7 +2,7 @@
 //! scheduled, returns its next action (a system call, a CPU burst, a sleep,
 //! or exit).
 
-use sim_core::{FileId, SimDuration, SimTime};
+use sim_core::{FileId, IoError, SimDuration, SimTime};
 use split_core::SyscallKind;
 
 /// What a process does next.
@@ -42,6 +42,10 @@ pub enum Outcome {
     Created(FileId),
     /// A mkdir/unlink finished.
     MetaDone,
+    /// The call failed with an I/O error (fault injection): a read against
+    /// a failed device request, or an fsync whose data or journal write
+    /// was lost — the simulator's `EIO`.
+    Failed(IoError),
 }
 
 /// A workload: the simulator calls `next` every time the process is

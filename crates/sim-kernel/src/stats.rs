@@ -23,6 +23,8 @@ pub struct ProcStats {
     pub meta_ops: Vec<SimTime>,
     /// Total time spent parked at the syscall gate.
     pub gated_time: SimDuration,
+    /// Syscalls that returned `Outcome::Failed` (fault injection).
+    pub io_errors: u64,
 }
 
 /// Per-kernel counters.
@@ -43,6 +45,10 @@ pub struct KernelStats {
     pub read_ts: HashMap<Pid, TimeSeries>,
     /// Optional per-pid write-syscall time series.
     pub write_ts: HashMap<Pid, TimeSeries>,
+    /// Block requests failed by the fault plane.
+    pub io_errors: u64,
+    /// Journal aborts observed (fault injection).
+    pub journal_aborts: u64,
 }
 
 impl KernelStats {

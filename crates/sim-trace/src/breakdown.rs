@@ -118,8 +118,11 @@ pub fn layer_totals(spans: &[SpanRecord]) -> [(Layer, f64); 7] {
     let mut out = Layer::ALL.map(|l| (l, 0.0));
     for s in spans {
         if let Some(d) = s.duration() {
-            let slot = Layer::ALL.iter().position(|&l| l == s.layer).unwrap();
-            out[slot].1 += d.as_millis_f64();
+            // Every layer is in ALL today, but a span from a newer layer
+            // must degrade to "unprofiled", not panic the report.
+            if let Some(slot) = Layer::ALL.iter().position(|&l| l == s.layer) {
+                out[slot].1 += d.as_millis_f64();
+            }
         }
     }
     out

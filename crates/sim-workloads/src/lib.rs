@@ -436,8 +436,12 @@ impl ProcessLogic for CreatFsyncLoop {
                     self.last_file = Some(*f);
                 }
                 self.state = 2;
-                let f = self.last_file.expect("creat returned a file");
-                ProcAction::Syscall(SyscallKind::Fsync { file: f })
+                match self.last_file {
+                    Some(f) => ProcAction::Syscall(SyscallKind::Fsync { file: f }),
+                    // The creat failed (fault injection): skip the fsync
+                    // and go around again rather than panicking.
+                    None => ProcAction::Sleep(self.sleep.max(SimDuration::from_micros(1))),
+                }
             }
             _ => {
                 self.state = 0;

@@ -1,7 +1,7 @@
 //! The hook interface between the kernel and a split scheduler.
 
 use sim_block::{Dispatch, IoPrio, Request};
-use sim_core::{BlockNo, CauseSet, FileId, Pid, SimDuration, SimTime};
+use sim_core::{BlockNo, CauseSet, FileId, IoError, Pid, SimDuration, SimTime};
 use sim_device::DiskModel;
 use sim_trace::Tracer;
 
@@ -287,6 +287,15 @@ pub trait IoSched {
     /// Block level: a request completed at the device.
     fn block_completed(&mut self, req: &Request, ctx: &mut SchedCtx<'_>) {
         let _ = (req, ctx);
+    }
+
+    /// Block level: a request *failed* at the device (fault injection).
+    /// The default treats it like a completion so queue accounting stays
+    /// balanced; schedulers with cost accounting override this to refund
+    /// what the failed request was charged.
+    fn block_failed(&mut self, req: &Request, error: IoError, ctx: &mut SchedCtx<'_>) {
+        let _ = error;
+        self.block_completed(req, ctx);
     }
 
     /// A timer armed via `ctx.set_timer` fired.

@@ -24,6 +24,6 @@ pub use afq::Afq;
 pub use scs_token::ScsToken;
 pub use split_deadline::{SplitDeadline, SplitDeadlineConfig};
 pub use split_noop::SplitNoop;
-pub use split_token::{SplitToken, SplitTokenConfig};
+pub use split_token::{AccountError, SplitToken, SplitTokenConfig};
 pub use stride::StrideSet;
 pub use tokens::{BucketId, TokenBuckets};

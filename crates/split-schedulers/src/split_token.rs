@@ -15,14 +15,45 @@
 //!   §3.3).
 
 use std::collections::HashMap;
+use std::fmt;
 
 use sim_block::sorted::SortedQueue;
 use sim_block::{Dispatch, ReqKind, Request};
-use sim_core::{BlockNo, FileId, Pid, SimDuration, SimTime};
+use sim_core::{BlockNo, FileId, IoError, Pid, RequestId, SimDuration, SimTime};
 use sim_device::IoDir;
 use split_core::{BufferDirtied, BufferFreed, Gate, IoSched, SchedAttr, SchedCtx, SyscallInfo};
 
 use crate::tokens::TokenBuckets;
+
+/// Typed failure from the two-phase token account.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccountError {
+    /// A reversal hit an account with no outstanding pages: the prompt
+    /// charge it would reverse was never made (a duplicate free, or a
+    /// revision racing a buffer drop). Dividing through the page count
+    /// here used to produce 0/0 = NaN, which poisons every balance it is
+    /// added to; the caller must refund nothing instead.
+    ZeroPageAccount {
+        /// File whose account was empty.
+        file: FileId,
+        /// Pages the caller tried to reverse.
+        pages: u64,
+    },
+}
+
+impl fmt::Display for AccountError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccountError::ZeroPageAccount { file, pages } => write!(
+                f,
+                "reversal of {pages} page(s) against empty token account for file {}",
+                file.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AccountError {}
 
 /// Split-Token tunables.
 #[derive(Debug, Clone, Copy)]
@@ -48,6 +79,25 @@ struct PrelimOutstanding {
     pages: u64,
 }
 
+impl PrelimOutstanding {
+    /// Reverse `pages` pages of outstanding prompt charge, returning the
+    /// normalized bytes to hand back. An empty account cannot price a
+    /// page, so the reversal is a typed error rather than a 0/0 division.
+    fn reverse(&mut self, file: FileId, pages: u64) -> Result<f64, AccountError> {
+        if pages == 0 {
+            return Ok(0.0);
+        }
+        if self.pages == 0 {
+            return Err(AccountError::ZeroPageAccount { file, pages });
+        }
+        let per_page = self.norm_bytes / self.pages as f64;
+        let r = per_page * pages as f64;
+        self.norm_bytes = (self.norm_bytes - r).max(0.0);
+        self.pages = self.pages.saturating_sub(pages);
+        Ok(r)
+    }
+}
+
 /// The Split-Token scheduler.
 pub struct SplitToken {
     cfg: SplitTokenConfig,
@@ -56,6 +106,11 @@ pub struct SplitToken {
     last_offset: HashMap<FileId, u64>,
     /// Outstanding preliminary charges per file, reversed at revision.
     prelim: HashMap<FileId, PrelimOutstanding>,
+    /// Net tokens charged per in-flight request, reversed if it fails.
+    charged: HashMap<RequestId, f64>,
+    /// Account errors observed (reversals against empty accounts that
+    /// would previously have produced NaN balances).
+    account_errors: Vec<AccountError>,
     held: Vec<Pid>,
     // Block level: per-pid read queues (throttled pids are skipped),
     // one write queue (never throttled).
@@ -80,6 +135,8 @@ impl SplitToken {
             buckets: TokenBuckets::new(),
             last_offset: HashMap::new(),
             prelim: HashMap::new(),
+            charged: HashMap::new(),
+            account_errors: Vec::new(),
             held: Vec::new(),
             reads: HashMap::new(),
             writes: SortedQueue::new(),
@@ -93,6 +150,12 @@ impl SplitToken {
     /// Direct bucket access (tests and experiments).
     pub fn buckets_mut(&mut self) -> &mut TokenBuckets {
         &mut self.buckets
+    }
+
+    /// Account errors seen so far (empty-account reversals, each of which
+    /// was answered with a zero refund instead of a NaN charge).
+    pub fn account_errors(&self) -> &[AccountError] {
+        &self.account_errors
     }
 
     fn charge_causes(&mut self, req: &Request, norm: f64, now: SimTime) {
@@ -202,18 +265,15 @@ impl IoSched for SplitToken {
     fn buffer_freed(&mut self, ev: &BufferFreed, ctx: &mut SchedCtx<'_>) {
         // The write work evaporated: refund the preliminary charge.
         let pages = ev.bytes / sim_core::PAGE_SIZE;
-        let refund = if let Some(p) = self.prelim.get_mut(&ev.file) {
-            let per_page = if p.pages == 0 {
-                0.0
-            } else {
-                p.norm_bytes / p.pages as f64
-            };
-            let r = per_page * pages as f64;
-            p.norm_bytes = (p.norm_bytes - r).max(0.0);
-            p.pages = p.pages.saturating_sub(pages);
-            r
-        } else {
-            0.0
+        let refund = match self.prelim.get_mut(&ev.file) {
+            Some(p) => match p.reverse(ev.file, pages) {
+                Ok(r) => r,
+                Err(e) => {
+                    self.account_errors.push(e);
+                    0.0
+                }
+            },
+            None => 0.0,
         };
         if refund > 0.0 {
             for (pid, share) in ev.causes.shares(refund) {
@@ -266,6 +326,9 @@ impl IoSched for SplitToken {
                 let norm = ctx.device.peek_service_time(&req.shape()).as_secs_f64()
                     * ctx.device.seq_bandwidth();
                 self.charge_causes(&req, norm, now);
+                if !req.causes.is_empty() && norm != 0.0 {
+                    self.charged.insert(req.id, norm);
+                }
                 self.reads_in_batch += 1;
                 return Dispatch::Issue(req);
             }
@@ -278,21 +341,17 @@ impl IoSched for SplitToken {
                 * ctx.device.seq_bandwidth();
             let revised = if req.kind == ReqKind::Data {
                 // Replace the preliminary estimate with the real cost.
-                let reversal = req
-                    .file
-                    .and_then(|f| self.prelim.get_mut(&f))
-                    .map(|p| {
-                        let per_page = if p.pages == 0 {
+                let reversal = match req.file {
+                    Some(f) => match self.prelim.get_mut(&f).map(|p| p.reverse(f, req.nblocks)) {
+                        Some(Ok(r)) => r,
+                        Some(Err(e)) => {
+                            self.account_errors.push(e);
                             0.0
-                        } else {
-                            p.norm_bytes / p.pages as f64
-                        };
-                        let r = per_page * req.nblocks as f64;
-                        p.norm_bytes = (p.norm_bytes - r).max(0.0);
-                        p.pages = p.pages.saturating_sub(req.nblocks);
-                        r
-                    })
-                    .unwrap_or(0.0);
+                        }
+                        None => 0.0,
+                    },
+                    None => 0.0,
+                };
                 real - reversal
             } else {
                 // Journal / checkpoint: no estimate existed; charge fully.
@@ -304,6 +363,9 @@ impl IoSched for SplitToken {
                 for (pid, share) in req.causes.shares(-revised) {
                     self.buckets.refund(pid, share, now);
                 }
+            }
+            if !req.causes.is_empty() && revised != 0.0 {
+                self.charged.insert(req.id, revised);
             }
             return Dispatch::Issue(req);
         }
@@ -325,7 +387,26 @@ impl IoSched for SplitToken {
         }
     }
 
-    fn block_completed(&mut self, _req: &Request, ctx: &mut SchedCtx<'_>) {
+    fn block_completed(&mut self, req: &Request, ctx: &mut SchedCtx<'_>) {
+        self.charged.remove(&req.id);
+        self.maintenance(ctx);
+    }
+
+    fn block_failed(&mut self, req: &Request, _error: IoError, ctx: &mut SchedCtx<'_>) {
+        // The device never did the work: reverse whatever dispatch-time
+        // accounting charged (or re-collect a dispatch-time refund), so a
+        // failing workload is not also billed for it.
+        if let Some(net) = self.charged.remove(&req.id) {
+            if net > 0.0 {
+                for (pid, share) in req.causes.shares(net) {
+                    self.buckets.refund(pid, share, ctx.now);
+                }
+            } else {
+                for (pid, share) in req.causes.shares(-net) {
+                    self.buckets.charge(pid, share, ctx.now);
+                }
+            }
+        }
         self.maintenance(ctx);
     }
 
@@ -477,6 +558,97 @@ mod tests {
             other => panic!("read should wait for refill: {other:?}"),
         }
         assert_eq!(s.queued(), 1);
+    }
+
+    #[test]
+    fn zero_page_account_reversal_is_a_typed_error_not_nan() {
+        let mut p = PrelimOutstanding::default();
+        assert_eq!(
+            p.reverse(FileId(7), 3),
+            Err(AccountError::ZeroPageAccount {
+                file: FileId(7),
+                pages: 3
+            })
+        );
+        // Reversing zero pages is a legitimate no-op even when empty.
+        assert_eq!(p.reverse(FileId(7), 0), Ok(0.0));
+        // And a populated account divides cleanly.
+        p.norm_bytes = 8192.0;
+        p.pages = 2;
+        assert_eq!(p.reverse(FileId(7), 1), Ok(4096.0));
+        assert_eq!(p.pages, 1);
+    }
+
+    #[test]
+    fn freeing_never_charged_buffers_records_error_and_refunds_nothing() {
+        let dev = HddModel::new();
+        let mut s = SplitToken::new();
+        s.configure(Pid(1), SchedAttr::TokenRate(1_000_000));
+        let mut ctx = SchedCtx::new(SimTime::ZERO, &dev);
+        // Dirty one page of file 1, then free *two* pages: the account
+        // empties on the first and the second reversal hits zero pages.
+        s.buffer_dirtied(&dirty(1, 5000, 1, 4096), &mut ctx);
+        let before = s.buckets.balance(Pid(1), SimTime::ZERO).unwrap();
+        for _ in 0..2 {
+            s.buffer_freed(
+                &BufferFreed {
+                    file: FileId(1),
+                    page: 5000,
+                    causes: CauseSet::of(Pid(1)),
+                    bytes: 4096,
+                },
+                &mut ctx,
+            );
+        }
+        let after = s.buckets.balance(Pid(1), SimTime::ZERO).unwrap();
+        assert!(after.is_finite(), "NaN must never reach the bucket");
+        assert!(after >= before, "the one real page was refunded");
+        assert_eq!(s.account_errors().len(), 1);
+        assert!(matches!(
+            s.account_errors()[0],
+            AccountError::ZeroPageAccount {
+                file: FileId(1),
+                pages: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn failed_requests_refund_the_dispatch_charge() {
+        let dev = HddModel::new();
+        let mut s = SplitToken::new();
+        s.configure(Pid(1), SchedAttr::TokenRate(1_000_000));
+        let mut ctx = SchedCtx::new(SimTime::ZERO, &dev);
+        let r = Request {
+            id: RequestId(1),
+            dir: IoDir::Read,
+            start: BlockNo(100),
+            nblocks: 8,
+            submitter: Pid(1),
+            causes: CauseSet::of(Pid(1)),
+            sync: true,
+            ioprio: Default::default(),
+            deadline: None,
+            submitted_at: SimTime::ZERO,
+            file: None,
+            kind: ReqKind::Data,
+        };
+        s.block_add(r, &mut ctx);
+        let req = match s.block_dispatch(&mut ctx) {
+            Dispatch::Issue(req) => req,
+            other => panic!("{other:?}"),
+        };
+        let charged = s.buckets.balance(Pid(1), SimTime::ZERO).unwrap();
+        s.block_failed(
+            &req,
+            sim_core::IoError::new(sim_core::IoErrorKind::TransientDevice),
+            &mut ctx,
+        );
+        let refunded = s.buckets.balance(Pid(1), SimTime::ZERO).unwrap();
+        assert!(
+            refunded > charged,
+            "failed I/O must hand the tokens back: {charged} -> {refunded}"
+        );
     }
 
     #[test]
