@@ -99,6 +99,7 @@ fn main() {
         let cfg = exp::fig09_time_overhead::Config {
             duration: short(2),
             threads: [1, 10, 100],
+            seed: 0,
         };
         exp::fig09_time_overhead::run(&cfg);
     });
@@ -115,6 +116,7 @@ fn main() {
         let cfg = exp::fig11_afq::Config {
             duration: short(4),
             sync_threads_per_prio: 1,
+            seed: 0,
         };
         exp::fig11_afq::run_panel(
             &cfg,
@@ -232,14 +234,14 @@ fn main() {
     });
 
     bench("ablations/burst_no_prompt_charging", filter, || {
-        exp::ablations::burst_ablation(short(8));
+        exp::ablations::burst_ablation(short(8), 0);
     });
 
     bench("ablations/tags_vs_submitter", filter, || {
-        exp::ablations::tag_ablation(short(5));
+        exp::ablations::tag_ablation(short(5), 0);
     });
 
     bench("ablations/gate_vs_fifo", filter, || {
-        exp::ablations::gate_ablation(short(5));
+        exp::ablations::gate_ablation(short(5), 0);
     });
 }

@@ -27,6 +27,8 @@ pub struct MiniDbConfig {
     pub checkpoint_threshold: u64,
     /// Think time between transactions.
     pub think: SimDuration,
+    /// Seed for the checkpointer's page-selection RNG (0 = historical).
+    pub seed: u64,
 }
 
 impl Default for MiniDbConfig {
@@ -37,6 +39,7 @@ impl Default for MiniDbConfig {
             wal_bytes_per_txn: PAGE_SIZE,
             checkpoint_threshold: 1000,
             think: SimDuration::from_millis(1),
+            seed: 0,
         }
     }
 }
@@ -167,7 +170,7 @@ impl Checkpointer {
             cfg,
             shared,
             db_file,
-            rng: SimRng::seed_from_u64(0xc4ec),
+            rng: SimRng::seed_from_u64(cfg.seed ^ 0xc4ec),
             stage: 0,
             left: 0,
         }

@@ -26,6 +26,8 @@ pub struct PgConfig {
     pub checkpoint_interval: SimDuration,
     /// Think time between transactions.
     pub think: SimDuration,
+    /// Seed for the checkpointer's page-selection RNG (0 = historical).
+    pub seed: u64,
 }
 
 impl Default for PgConfig {
@@ -36,6 +38,7 @@ impl Default for PgConfig {
             writes_per_txn: 2,
             checkpoint_interval: SimDuration::from_secs(10),
             think: SimDuration::from_millis(2),
+            seed: 0,
         }
     }
 }
@@ -169,7 +172,7 @@ impl PgCheckpointer {
             cfg,
             shared,
             table,
-            rng: SimRng::seed_from_u64(0x9c9c),
+            rng: SimRng::seed_from_u64(cfg.seed ^ 0x9c9c),
             stage: 0,
             left: 0,
         }

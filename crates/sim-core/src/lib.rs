@@ -22,7 +22,7 @@ pub use causes::CauseSet;
 pub use error::{IoError, IoErrorKind, IoResult};
 pub use event::{EventQueue, ScheduledEvent};
 pub use ids::{BlockNo, FileId, IdAlloc, KernelId, Pid, RequestId, TxnId};
-pub use rng::SimRng;
+pub use rng::{stream_seed, SimRng};
 pub use time::{SimDuration, SimTime};
 
 /// Size of one page / filesystem block in bytes. The simulator uses a single

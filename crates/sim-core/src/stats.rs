@@ -21,6 +21,74 @@ pub fn stddev(xs: &[f64]) -> f64 {
     var.sqrt()
 }
 
+/// NaN-safe summary of a sample: non-finite values (NaN, ±inf) are counted
+/// and excluded instead of poisoning every downstream aggregate — the same
+/// discipline as [`Percentiles`]' `total_cmp` sort, which parks NaNs at the
+/// tail rather than panicking mid-experiment.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Summary {
+    /// Finite samples that entered the aggregates.
+    pub n: usize,
+    /// Non-finite samples that were dropped.
+    pub dropped: usize,
+    /// Mean of the finite samples; zero when none.
+    pub mean: f64,
+    /// Sample (n−1) standard deviation of the finite samples; zero for
+    /// fewer than two.
+    pub stddev: f64,
+    /// Half-width of the 95% confidence interval of the mean (normal
+    /// approximation, `1.96·s/√n`); zero for fewer than two samples.
+    pub ci95: f64,
+}
+
+/// Summarize a sample, skipping non-finite values.
+pub fn summarize(xs: &[f64]) -> Summary {
+    let finite: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
+    let n = finite.len();
+    let dropped = xs.len() - n;
+    if n == 0 {
+        return Summary {
+            dropped,
+            ..Summary::default()
+        };
+    }
+    let mean = finite.iter().sum::<f64>() / n as f64;
+    if n < 2 {
+        return Summary {
+            n,
+            dropped,
+            mean,
+            ..Summary::default()
+        };
+    }
+    let var = finite.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0);
+    let stddev = var.sqrt();
+    Summary {
+        n,
+        dropped,
+        mean,
+        stddev,
+        ci95: 1.96 * stddev / (n as f64).sqrt(),
+    }
+}
+
+/// NaN-safe arithmetic mean: non-finite samples are skipped.
+pub fn finite_mean(xs: &[f64]) -> f64 {
+    summarize(xs).mean
+}
+
+/// NaN-safe sample (n−1) standard deviation: non-finite samples are
+/// skipped. Note [`stddev`] is the *population* deviation; this variant
+/// feeds confidence intervals, which want the sample estimator.
+pub fn finite_stddev(xs: &[f64]) -> f64 {
+    summarize(xs).stddev
+}
+
+/// NaN-safe half-width of the 95% confidence interval of the mean.
+pub fn ci95(xs: &[f64]) -> f64 {
+    summarize(xs).ci95
+}
+
 /// Percentile by the nearest-rank method (`p` in `[0, 100]`). Returns zero
 /// for an empty slice.
 ///
@@ -184,6 +252,51 @@ mod tests {
         assert_eq!(stddev(&[5.0]), 0.0);
         let s = stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
         assert!((s - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summarize_known_values() {
+        let s = summarize(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert_eq!(s.dropped, 0);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample stddev of the classic set: sqrt(32/7).
+        assert!((s.stddev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert!((s.ci95 - 1.96 * s.stddev / 8.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summarize_is_nan_safe() {
+        let s = summarize(&[1.0, f64::NAN, 3.0, f64::INFINITY, f64::NEG_INFINITY]);
+        assert_eq!(s.n, 2);
+        assert_eq!(s.dropped, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!(s.stddev.is_finite() && s.ci95.is_finite());
+        // All-NaN input degrades to zeros, not NaN.
+        let all_bad = summarize(&[f64::NAN, f64::NAN]);
+        assert_eq!(all_bad.n, 0);
+        assert_eq!(all_bad.dropped, 2);
+        assert_eq!(all_bad.mean, 0.0);
+        assert_eq!(all_bad.ci95, 0.0);
+    }
+
+    #[test]
+    fn summarize_degenerate_sizes() {
+        assert_eq!(summarize(&[]), Summary::default());
+        let one = summarize(&[5.0]);
+        assert_eq!((one.n, one.mean, one.stddev, one.ci95), (1, 5.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn finite_helpers_agree_with_summary() {
+        let xs = [1.0, 2.0, f64::NAN, 4.0];
+        let s = summarize(&xs);
+        assert_eq!(finite_mean(&xs), s.mean);
+        assert_eq!(finite_stddev(&xs), s.stddev);
+        assert_eq!(ci95(&xs), s.ci95);
+        // And the NaN did not leak into any of them.
+        assert!(finite_mean(&xs).is_finite());
+        assert!(finite_stddev(&xs).is_finite());
     }
 
     #[test]

@@ -141,7 +141,8 @@ pub struct BurstAblation {
 }
 
 /// Figure-1 scenario with and without prompt (memory-level) charging.
-pub fn burst_ablation(duration: SimDuration) -> BurstAblation {
+/// `seed` varies the burst's write pattern (0 = historical run).
+pub fn burst_ablation(duration: SimDuration, seed: u64) -> BurstAblation {
     let run = |prompt: bool| {
         let mut world = sim_kernel::World::new();
         let sched: Box<dyn IoSched> = if prompt {
@@ -155,6 +156,7 @@ pub fn burst_ablation(duration: SimDuration) -> BurstAblation {
                     mem_bytes: 512 * MB,
                     ..Default::default()
                 },
+                fs_seed: seed,
                 ..Default::default()
             },
             sim_kernel::DeviceKind::hdd(),
@@ -174,7 +176,7 @@ pub fn burst_ablation(duration: SimDuration) -> BurstAblation {
                 4 * KB,
                 SimTime::ZERO + SimDuration::from_secs(5),
                 SimDuration::from_secs(1),
-                0xab1,
+                seed ^ 0xab1,
             )),
         );
         world.configure(k, b, SchedAttr::TokenRate(MB));
@@ -204,7 +206,8 @@ pub struct TagAblation {
 
 /// A throttled buffered writer with and without cause tags: without them,
 /// delegated writeback bills the writeback thread and B escapes its cap.
-pub fn tag_ablation(duration: SimDuration) -> TagAblation {
+/// `seed` varies B's write pattern (0 = historical run).
+pub fn tag_ablation(duration: SimDuration, seed: u64) -> TagAblation {
     let run = |tags: bool| {
         let mut world = sim_kernel::World::new();
         let sched: Box<dyn IoSched> = if tags {
@@ -218,14 +221,20 @@ pub fn tag_ablation(duration: SimDuration) -> TagAblation {
         };
         let (mut w, k) = {
             let k = world.add_kernel(
-                sim_kernel::KernelConfig::default(),
+                sim_kernel::KernelConfig {
+                    fs_seed: seed,
+                    ..Default::default()
+                },
                 sim_kernel::DeviceKind::hdd(),
                 sched,
             );
             (world, k)
         };
         let b_file = w.prealloc_file(k, 2 * GB, false);
-        let b = w.spawn(k, Box::new(RandWriter::new(b_file, 2 * GB, 4 * KB, 0xab2)));
+        let b = w.spawn(
+            k,
+            Box::new(RandWriter::new(b_file, 2 * GB, 4 * KB, seed ^ 0xab2)),
+        );
         w.configure(k, b, SchedAttr::TokenRate(MB));
         w.run_for(duration);
         w.kernel(k).stats.write_mbps(b, duration)
@@ -246,7 +255,8 @@ pub struct GateAblation {
 }
 
 /// AFQ's async-write fairness with and without the syscall-level gate.
-pub fn gate_ablation(duration: SimDuration) -> GateAblation {
+/// `seed` varies file-system layout (0 = historical run).
+pub fn gate_ablation(duration: SimDuration, seed: u64) -> GateAblation {
     let run = |gate: bool| {
         let sched: Box<dyn IoSched> = if gate {
             Box::new(Lobotomized::new(Afq::new()))
@@ -262,6 +272,7 @@ pub fn gate_ablation(duration: SimDuration) -> GateAblation {
                         mem_bytes: setup.mem_bytes,
                         ..Default::default()
                     },
+                    fs_seed: seed,
                     ..Default::default()
                 },
                 sim_kernel::DeviceKind::hdd(),
@@ -355,7 +366,7 @@ mod tests {
 
     #[test]
     fn prompt_charging_is_what_contains_the_burst() {
-        let r = burst_ablation(SimDuration::from_secs(20));
+        let r = burst_ablation(SimDuration::from_secs(20), 0);
         assert!(
             r.full_after > 0.8 * r.before,
             "full Split-Token protects A: {} vs {}",
@@ -377,7 +388,7 @@ mod tests {
         // its 1 MB/s cap over a short window — but without tags the
         // delegated writeback bills the writeback thread and B escapes
         // the throttle entirely.
-        let r = tag_ablation(SimDuration::from_secs(20));
+        let r = tag_ablation(SimDuration::from_secs(20), 0);
         assert!(
             r.without_tags_b > 2.0 * r.with_tags_b.max(0.05),
             "without tags, delegated writeback lets B escape: {} vs {}",
@@ -388,7 +399,7 @@ mod tests {
 
     #[test]
     fn the_syscall_gate_is_what_orders_buffered_writers() {
-        let r = gate_ablation(SimDuration::from_secs(15));
+        let r = gate_ablation(SimDuration::from_secs(15), 0);
         assert!(
             r.with_gate_ratio > 3.0,
             "with the gate, prio 0 ≫ prio 7: {}",

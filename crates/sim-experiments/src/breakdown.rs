@@ -34,6 +34,8 @@ pub struct Config {
     pub b_blocks: u64,
     /// Device.
     pub device: DeviceChoice,
+    /// Experiment seed (0 = historical run).
+    pub seed: u64,
 }
 
 impl Config {
@@ -44,6 +46,7 @@ impl Config {
             b_start: SimDuration::from_secs(5),
             b_blocks: 1024,
             device: DeviceChoice::Hdd,
+            seed: 0,
         }
     }
 
@@ -96,6 +99,7 @@ pub struct BreakdownResult {
 fn run_one(cfg: &Config, sched: SchedChoice) -> SchedBreakdown {
     let setup = Setup {
         device: cfg.device,
+        seed: cfg.seed,
         ..Setup::new(sched)
     };
     let (mut w, k) = build_world(setup);
@@ -120,7 +124,7 @@ fn run_one(cfg: &Config, sched: SchedChoice) -> SchedBreakdown {
                 GB,
                 cfg.b_blocks,
                 SimDuration::from_millis(100),
-                0xb12,
+                cfg.seed ^ 0xb12,
             ),
         }),
     );

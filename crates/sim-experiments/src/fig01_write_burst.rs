@@ -32,6 +32,8 @@ pub struct Config {
     pub b_file: u64,
     /// Throughput-series bucket.
     pub bucket: SimDuration,
+    /// Experiment seed (0 = historical run).
+    pub seed: u64,
 }
 
 impl Config {
@@ -44,6 +46,7 @@ impl Config {
             a_file: 4 * GB,
             b_file: 16 * GB,
             bucket: SimDuration::from_secs(1),
+            seed: 0,
         }
     }
 
@@ -84,7 +87,7 @@ pub struct FigResult {
 }
 
 fn run_one(cfg: &Config, sched: SchedChoice) -> Series {
-    let (mut w, k) = build_world(Setup::new(sched));
+    let (mut w, k) = build_world(Setup::new(sched).seed(cfg.seed));
     let a_file = w.prealloc_file(k, cfg.a_file, true);
     let b_file = w.prealloc_file(k, cfg.b_file, true);
     let a = w.spawn(k, Box::new(SeqReader::new(a_file, cfg.a_file, MB)));
@@ -97,7 +100,7 @@ fn run_one(cfg: &Config, sched: SchedChoice) -> Series {
             4 * KB,
             SimTime::ZERO + cfg.burst_at,
             cfg.burst_len,
-            0xb0b,
+            cfg.seed ^ 0xb0b,
         )),
     );
     match sched {

@@ -24,6 +24,8 @@ pub struct Config {
     pub file_bytes: u64,
     /// Write syscall size.
     pub req: u64,
+    /// Experiment seed (0 = historical run).
+    pub seed: u64,
 }
 
 impl Config {
@@ -33,6 +35,7 @@ impl Config {
             duration: SimDuration::from_secs(20),
             file_bytes: 2 * GB,
             req: MB,
+            seed: 0,
         }
     }
 
@@ -79,7 +82,7 @@ pub fn mean_deviation(actual: &[f64; 8], goal: &[f64; 8]) -> f64 {
 
 /// Run the experiment (CFQ).
 pub fn run(cfg: &Config) -> FigResult {
-    let (mut w, k) = build_world(Setup::new(SchedChoice::Cfq));
+    let (mut w, k) = build_world(Setup::new(SchedChoice::Cfq).seed(cfg.seed));
     let mut pids: Vec<Pid> = Vec::new();
     for level in 0..8u8 {
         let file = w.prealloc_file(k, cfg.file_bytes, true);

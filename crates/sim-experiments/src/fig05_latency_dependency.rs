@@ -23,6 +23,8 @@ pub struct Config {
     pub deadline: SimDuration,
     /// File B scribbles into.
     pub b_file: u64,
+    /// Experiment seed (0 = historical run).
+    pub seed: u64,
 }
 
 impl Config {
@@ -33,6 +35,7 @@ impl Config {
             b_blocks: [4, 16, 64, 256, 1024],
             deadline: SimDuration::from_millis(20),
             b_file: GB,
+            seed: 0,
         }
     }
 
@@ -67,7 +70,7 @@ pub struct FigResult {
 
 /// Run one point of the sweep with the given scheduler.
 pub fn run_point(cfg: &Config, nblocks: u64, sched: SchedChoice) -> Point {
-    let (mut w, k) = build_world(Setup::new(sched));
+    let (mut w, k) = build_world(Setup::new(sched).seed(cfg.seed));
     let a_file = w.prealloc_file(k, 64 * crate::MB, true);
     let b_file = w.prealloc_file(k, cfg.b_file, true);
     let a = w.spawn(
@@ -85,7 +88,7 @@ pub fn run_point(cfg: &Config, nblocks: u64, sched: SchedChoice) -> Point {
             cfg.b_file,
             nblocks,
             SimDuration::from_millis(50),
-            0x5ee,
+            cfg.seed ^ 0x5ee,
         )),
     );
     // The paper sets per-process block deadlines (their Block-Deadline

@@ -29,6 +29,8 @@ pub struct Config {
     pub a_file: u64,
     /// B's file size (the paper uses 10 GB).
     pub b_file: u64,
+    /// Experiment seed (0 = historical run).
+    pub seed: u64,
 }
 
 impl Config {
@@ -40,6 +42,7 @@ impl Config {
             b_rate: 10 * MB,
             a_file: 4 * GB,
             b_file: 2 * GB,
+            seed: 0,
         }
     }
 
@@ -94,14 +97,20 @@ pub fn run_point(
         FsChoice::Ext4 => Setup::new(sched),
         FsChoice::Xfs => Setup::new(sched).on_xfs(),
     };
-    let (mut w, k) = build_world(setup);
+    let (mut w, k) = build_world(setup.seed(cfg.seed));
     let a_file = w.prealloc_file(k, cfg.a_file, true);
     // B's file is aged/fragmented, as a long-lived 10 GB file would be.
     let b_file = w.prealloc_file(k, cfg.b_file, false);
     let a = w.spawn(k, Box::new(SeqReader::new(a_file, cfg.a_file, MB)));
     let b: Pid = w.spawn(
         k,
-        Box::new(RunPattern::new(b_file, cfg.b_file, run, b_writes, 0xBEE)),
+        Box::new(RunPattern::new(
+            b_file,
+            cfg.b_file,
+            run,
+            b_writes,
+            cfg.seed ^ 0xBEE,
+        )),
     );
     w.configure(k, b, SchedAttr::TokenRate(cfg.b_rate));
     w.run_for(cfg.duration);

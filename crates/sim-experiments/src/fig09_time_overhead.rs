@@ -20,6 +20,8 @@ pub struct Config {
     pub duration: SimDuration,
     /// Thread counts to sweep.
     pub threads: [usize; 3],
+    /// Experiment seed (0 = historical run).
+    pub seed: u64,
 }
 
 impl Config {
@@ -28,6 +30,7 @@ impl Config {
         Config {
             duration: SimDuration::from_secs(5),
             threads: [1, 10, 100],
+            seed: 0,
         }
     }
 
@@ -59,7 +62,7 @@ pub struct FigResult {
 }
 
 fn throughput(cfg: &Config, sched: SchedChoice, threads: usize) -> f64 {
-    let (mut w, k) = build_world(Setup::new(sched).on_ssd());
+    let (mut w, k) = build_world(Setup::new(sched).on_ssd().seed(cfg.seed));
     let mut pids = Vec::new();
     for _ in 0..threads {
         let file = w.prealloc_file(k, GB, true);

@@ -23,6 +23,8 @@ pub struct Config {
     pub writers: usize,
     /// Modeled RAM.
     pub mem: u64,
+    /// Experiment seed (0 = historical run).
+    pub seed: u64,
 }
 
 impl Config {
@@ -33,6 +35,7 @@ impl Config {
             ratios: [0.10, 0.20, 0.35, 0.50],
             writers: 8,
             mem: 512 * MB,
+            seed: 0,
         }
     }
 
@@ -73,7 +76,8 @@ pub fn run(cfg: &Config) -> FigResult {
         let (mut w, k) = build_world(
             Setup::new(SchedChoice::SplitToken)
                 .mem(cfg.mem)
-                .dirty_ratio(ratio),
+                .dirty_ratio(ratio)
+                .seed(cfg.seed),
         );
         for _ in 0..cfg.writers {
             let file = w.prealloc_file(k, 4 * GB, true);

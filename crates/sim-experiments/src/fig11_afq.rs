@@ -49,6 +49,8 @@ pub struct Config {
     pub duration: SimDuration,
     /// Threads per priority level in panel (c) (the paper uses 5).
     pub sync_threads_per_prio: usize,
+    /// Experiment seed (0 = historical run).
+    pub seed: u64,
 }
 
 impl Config {
@@ -57,6 +59,7 @@ impl Config {
         Config {
             duration: SimDuration::from_secs(15),
             sync_threads_per_prio: 2,
+            seed: 0,
         }
     }
 
@@ -65,6 +68,7 @@ impl Config {
         Config {
             duration: SimDuration::from_secs(60),
             sync_threads_per_prio: 5,
+            seed: 0,
         }
     }
 }
@@ -93,7 +97,7 @@ pub struct FigResult {
 
 /// Run one panel with one scheduler.
 pub fn run_panel(cfg: &Config, sched: SchedChoice, wl: Workload) -> PanelResult {
-    let (mut w, k) = build_world(Setup::new(sched));
+    let (mut w, k) = build_world(Setup::new(sched).seed(cfg.seed));
     // pids[level] holds that priority level's thread(s).
     let mut pids: Vec<Vec<Pid>> = vec![Vec::new(); 8];
     for level in 0..8u8 {
@@ -121,7 +125,7 @@ pub fn run_panel(cfg: &Config, sched: SchedChoice, wl: Workload) -> PanelResult 
                             256 * MB,
                             1,
                             SimDuration::ZERO,
-                            (level as u64) << 8 | t as u64,
+                            cfg.seed ^ ((level as u64) << 8 | t as u64),
                         )),
                     )
                 }

@@ -40,6 +40,8 @@ pub struct Config {
     pub device: DeviceChoice,
     /// Deadlines (Table 3).
     pub deadlines: Deadlines,
+    /// Experiment seed (0 = historical run).
+    pub seed: u64,
 }
 
 impl Config {
@@ -55,6 +57,7 @@ impl Config {
                 a_fsync: SimDuration::from_millis(100),
                 b_fsync: SimDuration::from_millis(400),
             },
+            seed: 0,
         }
     }
 
@@ -130,6 +133,7 @@ fn run_one(cfg: &Config, sched: SchedChoice) -> Series {
 fn run_one_inner(cfg: &Config, sched: SchedChoice, trace: bool) -> (Series, Option<String>) {
     let setup = Setup {
         device: cfg.device,
+        seed: cfg.seed,
         ..Setup::new(sched)
     };
     let (mut w, k) = build_world(setup);
@@ -156,7 +160,7 @@ fn run_one_inner(cfg: &Config, sched: SchedChoice, trace: bool) -> (Series, Opti
                 GB,
                 cfg.b_blocks,
                 SimDuration::from_millis(100),
-                0xb12,
+                cfg.seed ^ 0xb12,
             ),
         }),
     );

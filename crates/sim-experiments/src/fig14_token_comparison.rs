@@ -66,12 +66,16 @@ impl BWorkload {
         )
     }
 
-    /// Spawn the workload on `k`, returning B's pid.
-    pub fn spawn(self, w: &mut World, k: sim_core::KernelId) -> Pid {
+    /// Spawn the workload on `k`, returning B's pid. `seed` varies the
+    /// random-access streams (0 = historical run).
+    pub fn spawn(self, w: &mut World, k: sim_core::KernelId, seed: u64) -> Pid {
         match self {
             BWorkload::ReadRand => {
                 let f = w.prealloc_file(k, 2 * GB, false);
-                w.spawn(k, Box::new(RandReader::new(f, 2 * GB, 4 * KB, 0xb14)))
+                w.spawn(
+                    k,
+                    Box::new(RandReader::new(f, 2 * GB, 4 * KB, seed ^ 0xb14)),
+                )
             }
             BWorkload::ReadSeq => {
                 let f = w.prealloc_file(k, 2 * GB, true);
@@ -88,7 +92,10 @@ impl BWorkload {
             }
             BWorkload::WriteRand => {
                 let f = w.prealloc_file(k, 2 * GB, false);
-                w.spawn(k, Box::new(RandWriter::new(f, 2 * GB, 4 * KB, 0xb14)))
+                w.spawn(
+                    k,
+                    Box::new(RandWriter::new(f, 2 * GB, 4 * KB, seed ^ 0xb14)),
+                )
             }
             BWorkload::WriteSeq => {
                 let f = w.prealloc_file(k, 2 * GB, true);
@@ -111,6 +118,8 @@ pub struct Config {
     pub b_rate: u64,
     /// A's file size.
     pub a_file: u64,
+    /// Experiment seed (0 = historical run).
+    pub seed: u64,
 }
 
 impl Config {
@@ -120,6 +129,7 @@ impl Config {
             duration: SimDuration::from_secs(10),
             b_rate: MB,
             a_file: 4 * GB,
+            seed: 0,
         }
     }
 
@@ -156,7 +166,7 @@ pub struct FigResult {
 
 /// Measure A alone (no B).
 pub fn a_alone(cfg: &Config) -> f64 {
-    let (mut w, k) = build_world(Setup::new(SchedChoice::SplitToken));
+    let (mut w, k) = build_world(Setup::new(SchedChoice::SplitToken).seed(cfg.seed));
     let a_file = w.prealloc_file(k, cfg.a_file, true);
     let a = w.spawn(k, Box::new(SeqReader::new(a_file, cfg.a_file, MB)));
     w.run_for(cfg.duration);
@@ -165,10 +175,10 @@ pub fn a_alone(cfg: &Config) -> f64 {
 
 /// Run one point.
 pub fn run_point(cfg: &Config, sched: SchedChoice, wl: BWorkload) -> Point {
-    let (mut w, k) = build_world(Setup::new(sched));
+    let (mut w, k) = build_world(Setup::new(sched).seed(cfg.seed));
     let a_file = w.prealloc_file(k, cfg.a_file, true);
     let a = w.spawn(k, Box::new(SeqReader::new(a_file, cfg.a_file, MB)));
-    let b = wl.spawn(&mut w, k);
+    let b = wl.spawn(&mut w, k, cfg.seed);
     w.configure(k, b, SchedAttr::TokenRate(cfg.b_rate));
     w.run_for(cfg.duration);
     let stats = &w.kernel(k).stats;

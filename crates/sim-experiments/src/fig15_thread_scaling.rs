@@ -62,6 +62,8 @@ pub struct Config {
     pub cores: u32,
     /// B group throttle.
     pub b_rate: u64,
+    /// Experiment seed (0 = historical run).
+    pub seed: u64,
 }
 
 impl Config {
@@ -72,6 +74,7 @@ impl Config {
             threads: [1, 16, 256, 1024],
             cores: 32,
             b_rate: MB,
+            seed: 0,
         }
     }
 
@@ -133,7 +136,11 @@ fn spawn_b(
 
 /// Run one point.
 pub fn run_point(cfg: &Config, act: BActivity, threads: usize) -> Point {
-    let (mut w, k) = build_world(Setup::new(SchedChoice::SplitToken).cores(cfg.cores));
+    let (mut w, k) = build_world(
+        Setup::new(SchedChoice::SplitToken)
+            .cores(cfg.cores)
+            .seed(cfg.seed),
+    );
     let a_file = w.prealloc_file(k, 4 * GB, true);
     let a = w.spawn(k, Box::new(SeqReader::new(a_file, 4 * GB, MB)));
     let shared_mem_file = w.prealloc_file(k, 8 * MB, true);

@@ -26,6 +26,8 @@ pub struct Config {
     pub sleeps_ms: [u64; 4],
     /// B's token rate (normalized bytes/second).
     pub b_rate: u64,
+    /// Experiment seed (0 = historical run).
+    pub seed: u64,
 }
 
 impl Config {
@@ -35,6 +37,7 @@ impl Config {
             duration: SimDuration::from_secs(10),
             sleeps_ms: [0, 10, 50, 200],
             b_rate: MB / 2,
+            seed: 0,
         }
     }
 
@@ -73,7 +76,7 @@ pub fn run_point(cfg: &Config, fs: FsChoice, sleep_ms: u64) -> Point {
         FsChoice::Ext4 => Setup::new(SchedChoice::SplitToken),
         FsChoice::Xfs => Setup::new(SchedChoice::SplitToken).on_xfs(),
     };
-    let (mut w, k) = build_world(setup);
+    let (mut w, k) = build_world(setup.seed(cfg.seed));
     let a_file = w.prealloc_file(k, 4 * GB, true);
     let a = w.spawn(k, Box::new(SeqReader::new(a_file, 4 * GB, MB)));
     let b = w.spawn(

@@ -24,6 +24,8 @@ pub struct Config {
     pub thresholds: [u64; 3],
     /// Database size.
     pub db_bytes: u64,
+    /// Experiment seed (0 = historical run).
+    pub seed: u64,
 }
 
 impl Config {
@@ -33,6 +35,7 @@ impl Config {
             duration: SimDuration::from_secs(25),
             thresholds: [200, 800, 2000],
             db_bytes: 256 * MB,
+            seed: 0,
         }
     }
 
@@ -73,13 +76,14 @@ pub struct FigResult {
 
 /// Run one point.
 pub fn run_point(cfg: &Config, sched: SchedChoice, threshold: u64) -> Point {
-    let (mut w, k) = build_world(Setup::new(sched));
+    let (mut w, k) = build_world(Setup::new(sched).seed(cfg.seed));
     let db_file = w.prealloc_file(k, cfg.db_bytes, true);
     let wal_file = w.prealloc_file(k, 64 * MB, true);
     let shared = MiniDbShared::new();
     let db_cfg = MiniDbConfig {
         db_bytes: cfg.db_bytes,
         checkpoint_threshold: threshold,
+        seed: cfg.seed,
         ..Default::default()
     };
     let worker = w.spawn(
@@ -89,7 +93,7 @@ pub fn run_point(cfg: &Config, sched: SchedChoice, threshold: u64) -> Point {
             shared.clone(),
             db_file,
             wal_file,
-            0x51,
+            cfg.seed ^ 0x51,
         )),
     );
     let cp = w.spawn(

@@ -25,6 +25,8 @@ pub struct Config {
     pub pg: PgConfig,
     /// The latency target the paper uses (15 ms).
     pub target_ms: f64,
+    /// Experiment seed (0 = historical run).
+    pub seed: u64,
 }
 
 impl Config {
@@ -38,6 +40,7 @@ impl Config {
                 ..Default::default()
             },
             target_ms: 15.0,
+            seed: 0,
         }
     }
 
@@ -89,8 +92,12 @@ pub struct FigResult {
 }
 
 fn run_one(cfg: &Config, sched: SchedChoice) -> Series {
-    let (mut w, k) = build_world(Setup::new(sched).on_ssd());
-    let table_file = w.prealloc_file(k, cfg.pg.table_bytes, true);
+    let (mut w, k) = build_world(Setup::new(sched).on_ssd().seed(cfg.seed));
+    let pg = PgConfig {
+        seed: cfg.seed,
+        ..cfg.pg
+    };
+    let table_file = w.prealloc_file(k, pg.table_bytes, true);
     let wal_file = w.prealloc_file(k, 128 * MB, true);
     let shared = PgShared::new();
     let mut workers = Vec::new();
@@ -98,18 +105,18 @@ fn run_one(cfg: &Config, sched: SchedChoice) -> Series {
         let pid = w.spawn(
             k,
             Box::new(PgWorker::new(
-                cfg.pg,
+                pg,
                 shared.clone(),
                 table_file,
                 wal_file,
-                0x9b + i as u64,
+                cfg.seed ^ (0x9b + i as u64),
             )),
         );
         workers.push(pid);
     }
     let cp = w.spawn(
         k,
-        Box::new(PgCheckpointer::new(cfg.pg, shared.clone(), table_file)),
+        Box::new(PgCheckpointer::new(pg, shared.clone(), table_file)),
     );
     match sched {
         SchedChoice::SplitDeadline | SchedChoice::SplitPdflush => {

@@ -45,6 +45,8 @@ pub struct Config {
     pub duration: SimDuration,
     /// B VM's throttle on the host.
     pub b_rate: u64,
+    /// Experiment seed (0 = historical run).
+    pub seed: u64,
 }
 
 impl Config {
@@ -53,6 +55,7 @@ impl Config {
         Config {
             duration: SimDuration::from_secs(10),
             b_rate: MB,
+            seed: 0,
         }
     }
 
@@ -87,7 +90,7 @@ pub struct FigResult {
 
 /// Run one point: two guests on one host, B's VMM throttled.
 pub fn run_point(cfg: &Config, host_sched: SchedChoice, wl: GuestWorkload) -> Point {
-    let (mut w, host) = build_world(Setup::new(host_sched));
+    let (mut w, host) = build_world(Setup::new(host_sched).seed(cfg.seed));
     let ga = launch_guest(&mut w, host, GuestConfig::default());
     let gb = launch_guest(&mut w, host, GuestConfig::default());
     // A: sequential reader inside its VM, over a >guest-RAM file.
@@ -99,7 +102,7 @@ pub fn run_point(cfg: &Config, host_sched: SchedChoice, wl: GuestWorkload) -> Po
             let f = w.prealloc_file(gb.kernel, 2 * GB, false);
             w.spawn(
                 gb.kernel,
-                Box::new(RandReader::new(f, 2 * GB, 4 * KB, 0x20)),
+                Box::new(RandReader::new(f, 2 * GB, 4 * KB, cfg.seed ^ 0x20)),
             )
         }
         GuestWorkload::ReadSeq => {

@@ -26,6 +26,8 @@ pub struct Config {
     pub writers_per_group: usize,
     /// Cluster shape.
     pub cluster: DfsConfig,
+    /// Experiment seed (0 = historical run).
+    pub seed: u64,
 }
 
 impl Config {
@@ -40,6 +42,7 @@ impl Config {
                 block_bytes: 32 * MB,
                 ..Default::default()
             },
+            seed: 0,
         }
     }
 
@@ -54,6 +57,7 @@ impl Config {
                 block_bytes: 64 * MB,
                 ..Default::default()
             },
+            seed: 0,
         }
     }
 }
@@ -87,6 +91,7 @@ pub fn run_point(cfg: &Config, block_bytes: u64, cap: u64) -> Point {
         &mut w,
         DfsConfig {
             block_bytes,
+            seed: cfg.cluster.seed ^ cfg.seed,
             ..cfg.cluster
         },
     );

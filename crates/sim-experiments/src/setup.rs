@@ -116,6 +116,9 @@ pub struct Setup {
     pub cores: u32,
     /// Dirty ratio override (default 0.20).
     pub dirty_ratio: f64,
+    /// Experiment seed. Zero (the default) reproduces the historical runs
+    /// bit-for-bit; the sweep engine sets it per replicate.
+    pub seed: u64,
 }
 
 impl Setup {
@@ -129,6 +132,7 @@ impl Setup {
             mem_bytes: 512 * 1024 * 1024,
             cores: 8,
             dirty_ratio: 0.20,
+            seed: 0,
         }
     }
 
@@ -161,6 +165,12 @@ impl Setup {
         self.dirty_ratio = r;
         self
     }
+
+    /// Override the experiment seed (varies file-system layout decisions).
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
 }
 
 /// Build a world with a single kernel per the setup.
@@ -176,6 +186,7 @@ pub fn build_world(setup: Setup) -> (World, KernelId) {
         cores: setup.cores,
         pdflush: setup.sched.wants_pdflush(),
         gate_reads: setup.sched.gates_reads(),
+        fs_seed: setup.seed,
         ..Default::default()
     };
     let k = w.add_kernel(cfg, setup.device.build(), setup.sched.build());

@@ -13,7 +13,7 @@ use sim_core::{
 };
 use sim_device::{DiskModel, HddModel, SsdModel};
 use sim_fault::{DeviceFaultPlane, Fault};
-use sim_fs::{FileSystem, FsEvent, FsOutput, IoToken, JournaledFs};
+use sim_fs::{FileSystem, FsConfig, FsEvent, FsOutput, IoToken, JournaledFs};
 use sim_trace::{Layer, RequestTrace, SpanId, Tracer};
 use split_core::{
     BufferDirtied, BufferFreed, Gate, IoSched, SchedAttr, SchedCmd, SchedCtx, SyscallInfo,
@@ -108,6 +108,10 @@ pub struct KernelConfig {
     pub wb_batch_pages: u64,
     /// Background writeback poll interval.
     pub wb_tick: SimDuration,
+    /// Extra entropy folded into the file system's layout RNG seed. Zero
+    /// (the default) keeps the historical on-disk layout; sweeps set it to
+    /// vary allocator and metadata placement across replicates.
+    pub fs_seed: u64,
 }
 
 impl Default for KernelConfig {
@@ -121,6 +125,7 @@ impl Default for KernelConfig {
             cpu: CpuCosts::default(),
             wb_batch_pages: 2048,
             wb_tick: SimDuration::from_millis(200),
+            fs_seed: 0,
         }
     }
 }
@@ -231,10 +236,12 @@ impl Kernel {
         let tracer = Tracer::for_kernel(id.raw());
         tracer.label_task(journal_pid, "journal");
         tracer.label_task(writeback_pid, "writeback");
-        let mut fs = match cfg.fs {
-            FsChoice::Ext4 => JournaledFs::new_ext4(blocks, journal_pid, writeback_pid),
-            FsChoice::Xfs => JournaledFs::new_xfs(blocks, journal_pid, writeback_pid),
+        let mut fs_cfg = match cfg.fs {
+            FsChoice::Ext4 => FsConfig::ext4(blocks),
+            FsChoice::Xfs => FsConfig::xfs(blocks),
         };
+        fs_cfg.seed ^= cfg.fs_seed;
+        let mut fs = JournaledFs::new(fs_cfg, journal_pid, writeback_pid);
         fs.set_tracer(tracer.clone());
         let mut cache = PageCache::new(cfg.cache);
         cache.set_tracer(tracer.clone());

@@ -1,0 +1,189 @@
+//! Statistical aggregation of sweep results.
+//!
+//! Replicates of one grid cell are grouped by (cell label, metric key)
+//! and collapsed with [`sim_core::stats::summarize`] into mean, sample
+//! stddev, and a 95% confidence half-width. The table renders to CSV
+//! and to JSON (hand-rolled — the workspace takes no serialization
+//! dependency); both are deterministic: rows are sorted by label then
+//! metric, and floats print with fixed precision.
+
+use std::collections::BTreeMap;
+
+use sim_core::stats::{summarize, Summary};
+
+/// Aggregated statistics for one metric of one grid cell.
+#[derive(Debug, Clone)]
+pub struct MetricRow {
+    /// Grid-cell label (e.g. `fig06/sched=cfq`).
+    pub label: String,
+    /// Metric key (e.g. `a_mean_mbps`).
+    pub metric: String,
+    /// Replicate summary.
+    pub summary: Summary,
+}
+
+/// The full aggregated table of a sweep.
+#[derive(Debug, Clone, Default)]
+pub struct SweepReport {
+    /// One row per (cell, metric), sorted by label then metric.
+    pub rows: Vec<MetricRow>,
+}
+
+/// Collapse per-replicate samples into a report.
+///
+/// Input: one `(label, metrics)` pair per executed cell replicate.
+/// BTreeMap keys give the deterministic row order for free.
+pub fn aggregate(samples: &[(String, Vec<(String, f64)>)]) -> SweepReport {
+    let mut groups: BTreeMap<(String, String), Vec<f64>> = BTreeMap::new();
+    for (label, metrics) in samples {
+        for (key, value) in metrics {
+            groups
+                .entry((label.clone(), key.clone()))
+                .or_default()
+                .push(*value);
+        }
+    }
+    SweepReport {
+        rows: groups
+            .into_iter()
+            .map(|((label, metric), values)| MetricRow {
+                label,
+                metric,
+                summary: summarize(&values),
+            })
+            .collect(),
+    }
+}
+
+/// Print a float the same way in CSV and JSON: shortest-round-trip,
+/// with non-finite values (only possible if every replicate was
+/// dropped) pinned to 0 so the JSON stays valid.
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl SweepReport {
+    /// Render as CSV: `cell,metric,n,dropped,mean,stddev,ci95`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("cell,metric,n,dropped,mean,stddev,ci95\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{}\n",
+                r.label,
+                r.metric,
+                r.summary.n,
+                r.summary.dropped,
+                num(r.summary.mean),
+                num(r.summary.stddev),
+                num(r.summary.ci95),
+            ));
+        }
+        out
+    }
+
+    /// Render as a JSON array of row objects.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"cell\": \"{}\", \"metric\": \"{}\", \"n\": {}, \"dropped\": {}, \
+                 \"mean\": {}, \"stddev\": {}, \"ci95\": {}}}{}\n",
+                json_escape(&r.label),
+                json_escape(&r.metric),
+                r.summary.n,
+                r.summary.dropped,
+                num(r.summary.mean),
+                num(r.summary.stddev),
+                num(r.summary.ci95),
+                if i + 1 == self.rows.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("]\n");
+        out
+    }
+
+    /// Human-readable `mean ± ci95` table for stdout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut last_label = "";
+        for r in &self.rows {
+            if r.label != last_label {
+                if !out.is_empty() {
+                    out.push('\n');
+                }
+                out.push_str(&format!("{}  (n={})\n", r.label, r.summary.n));
+                last_label = &r.label;
+            }
+            out.push_str(&format!(
+                "  {:<32} {:>12.3} ± {:.3}  (stddev {:.3})\n",
+                r.metric, r.summary.mean, r.summary.ci95, r.summary.stddev
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<(String, Vec<(String, f64)>)> {
+        vec![
+            ("fig01".into(), vec![("tput".into(), 10.0)]),
+            ("fig01".into(), vec![("tput".into(), 14.0)]),
+            ("fig01".into(), vec![("tput".into(), 12.0)]),
+            (
+                "fig03".into(),
+                vec![("dev".into(), 0.5), ("lat".into(), f64::NAN)],
+            ),
+        ]
+    }
+
+    #[test]
+    fn groups_by_label_and_metric() {
+        let rep = aggregate(&sample());
+        assert_eq!(rep.rows.len(), 3);
+        let tput = &rep.rows[0];
+        assert_eq!(
+            (tput.label.as_str(), tput.metric.as_str()),
+            ("fig01", "tput")
+        );
+        assert_eq!(tput.summary.n, 3);
+        assert!((tput.summary.mean - 12.0).abs() < 1e-12);
+        assert!(tput.summary.ci95 > 0.0);
+        // The NaN sample is dropped, not propagated.
+        let lat = rep.rows.iter().find(|r| r.metric == "lat").unwrap();
+        assert_eq!(lat.summary.dropped, 1);
+        assert_eq!(lat.summary.n, 0);
+    }
+
+    #[test]
+    fn csv_and_json_are_deterministic_and_well_formed() {
+        let rep = aggregate(&sample());
+        let csv = rep.to_csv();
+        assert!(csv.starts_with("cell,metric,n,dropped,mean,stddev,ci95\n"));
+        assert_eq!(csv, aggregate(&sample()).to_csv());
+        let json = rep.to_json();
+        assert!(json.starts_with("[\n") && json.ends_with("]\n"));
+        assert_eq!(json.matches("\"cell\"").count(), rep.rows.len());
+        // No trailing comma before the closing bracket.
+        assert!(!json.contains(",\n]"));
+    }
+}

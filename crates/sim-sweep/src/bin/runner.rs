@@ -1,0 +1,299 @@
+//! Experiment runner: regenerates the paper's tables and figures, and
+//! drives parameter sweeps.
+//!
+//! ```text
+//! runner [--paper] [--csv] [--trace] [--faults] [--jobs N] [TARGET...]
+//! runner sweep [FIGURE...] [--seeds N] [--jobs N] [--root-seed N]
+//!              [--sched NAME]... [--device NAME]... [--paper]
+//! ```
+//!
+//! Targets are `fig01 … fig21`, `ablations`, `breakdown`, `faults`,
+//! `all` (the default), or `sweep`. `--paper` uses the longer
+//! paper-scale configurations; the default quick profiles finish in
+//! seconds each (release build recommended). `--csv` additionally
+//! writes raw per-figure series under `results/`. `--trace` runs fig12
+//! with span tracing on and writes Chrome trace-event JSON (open in
+//! Perfetto / `chrome://tracing`) under `results/`. `--faults` (or the
+//! `faults` target) runs the fault-injection sweep; it is *not* part of
+//! `all` — the figures stay a fault-free, bit-reproducible baseline.
+//!
+//! `--jobs N` runs figures on N worker threads. Scenarios are seeded
+//! per cell, not per thread, so the output is byte-identical to
+//! `--jobs 1`.
+//!
+//! `sweep` replicates each selected figure across `--seeds N` seeds
+//! (default 3) split deterministically from `--root-seed` (default 0),
+//! aggregates every metric to mean / stddev / 95% CI, prints the table,
+//! and writes `results/sweeps/sweep.{csv,json}`. `--sched` / `--device`
+//! add grid axes, applied to the figures that support them.
+//!
+//! Unknown targets or flags are an error: usage goes to stderr and the
+//! exit code is 2, so a misspelled `fig99` can't silently run nothing
+//! and exit 0.
+
+use sim_experiments as exp;
+
+use exp::registry::{FigureId, Profile};
+use exp::setup::{DeviceChoice, SchedChoice};
+use sim_sweep::{run_figures_with, run_sweep, SweepSpec};
+
+const USAGE: &str = "\
+usage: runner [--paper] [--csv] [--trace] [--faults] [--jobs N] [TARGET...]
+       runner sweep [FIGURE...] [--seeds N] [--jobs N] [--root-seed N]
+                    [--sched NAME]... [--device NAME]... [--paper]
+
+targets: fig01 fig03 fig05 fig06 fig09 fig10 fig11 fig12 fig13 fig14
+         fig15 fig16 fig17 fig18 fig19 fig20 fig21 ablations breakdown
+         faults all sweep
+scheds:  noop cfq block-deadline scs-token afq split-deadline
+         split-pdflush split-token split-noop
+devices: hdd ssd";
+
+fn die(msg: &str) -> ! {
+    eprintln!("runner: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+/// Write a raw artifact (CSV series, Chrome trace) under `dir`.
+fn write_result(dir: &str, name: &str, content: &str) {
+    let dir = std::path::Path::new(dir);
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(name);
+        if std::fs::write(&path, content).is_ok() {
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+fn parse_sched(name: &str) -> Option<SchedChoice> {
+    Some(match name {
+        "noop" => SchedChoice::Noop,
+        "cfq" => SchedChoice::Cfq,
+        "block-deadline" => SchedChoice::BlockDeadline,
+        "scs-token" => SchedChoice::ScsToken,
+        "afq" => SchedChoice::Afq,
+        "split-deadline" => SchedChoice::SplitDeadline,
+        "split-pdflush" => SchedChoice::SplitPdflush,
+        "split-token" => SchedChoice::SplitToken,
+        "split-noop" => SchedChoice::SplitNoop,
+        _ => return None,
+    })
+}
+
+fn parse_device(name: &str) -> Option<DeviceChoice> {
+    Some(match name {
+        "hdd" => DeviceChoice::Hdd,
+        "ssd" => DeviceChoice::Ssd,
+        _ => return None,
+    })
+}
+
+#[derive(Default)]
+struct Cli {
+    paper: bool,
+    csv: bool,
+    trace: bool,
+    faults: bool,
+    jobs: Option<usize>,
+    seeds: Option<u32>,
+    root_seed: u64,
+    scheds: Vec<SchedChoice>,
+    devices: Vec<DeviceChoice>,
+    targets: Vec<String>,
+}
+
+fn parse_cli(args: &[String]) -> Cli {
+    let mut cli = Cli::default();
+    let mut it = args.iter().peekable();
+    // Accept both `--flag value` and `--flag=value`.
+    let value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
+                 flag: &str,
+                 inline: Option<&str>|
+     -> String {
+        if let Some(v) = inline {
+            return v.to_string();
+        }
+        match it.next() {
+            Some(v) if !v.starts_with("--") => v.clone(),
+            _ => die(&format!("{flag} requires a value")),
+        }
+    };
+    while let Some(arg) = it.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f, Some(v)),
+            None => (arg.as_str(), None),
+        };
+        match flag {
+            "--paper" => cli.paper = true,
+            "--csv" => cli.csv = true,
+            "--trace" => cli.trace = true,
+            "--faults" => cli.faults = true,
+            "--jobs" => {
+                let v = value(&mut it, "--jobs", inline);
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => cli.jobs = Some(n),
+                    _ => die(&format!("invalid --jobs value: {v}")),
+                }
+            }
+            "--seeds" => {
+                let v = value(&mut it, "--seeds", inline);
+                match v.parse::<u32>() {
+                    Ok(n) if n >= 1 => cli.seeds = Some(n),
+                    _ => die(&format!("invalid --seeds value: {v}")),
+                }
+            }
+            "--root-seed" => {
+                let v = value(&mut it, "--root-seed", inline);
+                match v.parse::<u64>() {
+                    Ok(n) => cli.root_seed = n,
+                    _ => die(&format!("invalid --root-seed value: {v}")),
+                }
+            }
+            "--sched" => {
+                let v = value(&mut it, "--sched", inline);
+                match parse_sched(&v) {
+                    Some(s) => cli.scheds.push(s),
+                    None => die(&format!("unknown scheduler: {v}")),
+                }
+            }
+            "--device" => {
+                let v = value(&mut it, "--device", inline);
+                match parse_device(&v) {
+                    Some(d) => cli.devices.push(d),
+                    None => die(&format!("unknown device: {v}")),
+                }
+            }
+            f if f.starts_with("--") => die(&format!("unknown flag: {f}")),
+            name => {
+                let known =
+                    FigureId::parse(name).is_some() || matches!(name, "all" | "faults" | "sweep");
+                if !known {
+                    die(&format!("unknown target: {name}"));
+                }
+                cli.targets.push(name.to_string());
+            }
+        }
+    }
+    cli
+}
+
+fn run_faults(cli: &Cli) {
+    let cfg = if cli.paper {
+        exp::fault_sweep::Config::paper()
+    } else {
+        exp::fault_sweep::Config::quick()
+    };
+    let r = exp::fault_sweep::run(&cfg);
+    println!("{r}\n");
+    if cli.csv {
+        let mut out = String::from("nth_write,io_errors,journal_aborts,fsyncs_ok,fsyncs_eio\n");
+        for p in &r.fault_points {
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                p.nth_write, p.io_errors, p.journal_aborts, p.fsyncs_ok, p.fsyncs_failed
+            ));
+        }
+        write_result("results", "fault_sweep.csv", &out);
+    }
+    if r.total_violations() > 0 {
+        eprintln!("FAIL: {} consistency violation(s)", r.total_violations());
+        std::process::exit(1);
+    }
+}
+
+fn sweep_main(cli: &Cli) {
+    let figures: Vec<FigureId> = if cli.targets.is_empty() {
+        FigureId::ALL.to_vec()
+    } else {
+        cli.targets
+            .iter()
+            .map(|t| {
+                FigureId::parse(t)
+                    .unwrap_or_else(|| die(&format!("sweep expects figure targets, got: {t}")))
+            })
+            .collect()
+    };
+    let mut spec = SweepSpec::new(figures);
+    spec.profile = if cli.paper {
+        Profile::Paper
+    } else {
+        Profile::Quick
+    };
+    spec.replicates = cli.seeds.unwrap_or(3);
+    spec.root_seed = cli.root_seed;
+    if !cli.scheds.is_empty() {
+        spec.scheds = std::iter::once(None)
+            .chain(cli.scheds.iter().map(|&s| Some(s)))
+            .collect();
+    }
+    if !cli.devices.is_empty() {
+        spec.devices = std::iter::once(None)
+            .chain(cli.devices.iter().map(|&d| Some(d)))
+            .collect();
+    }
+    let jobs = cli.jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    let n_cells = spec.cells().len();
+    eprintln!(
+        "sweep: {} cell(s) x {} seed(s) on {} job(s), root seed {}",
+        n_cells / spec.replicates.max(1) as usize,
+        spec.replicates,
+        jobs,
+        spec.root_seed
+    );
+    let (report, _) = run_sweep(&spec, jobs);
+    print!("{}", report.render());
+    write_result("results/sweeps", "sweep.csv", &report.to_csv());
+    write_result("results/sweeps", "sweep.json", &report.to_json());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = parse_cli(&args);
+
+    if cli.targets.iter().any(|t| t == "sweep") {
+        if cli.faults || cli.trace || cli.csv {
+            die("sweep does not combine with --faults/--csv/--trace");
+        }
+        let mut cli = cli;
+        cli.targets.retain(|t| t != "sweep");
+        sweep_main(&cli);
+        return;
+    }
+
+    // The fault sweep is opt-in only: `all` keeps producing the
+    // fault-free baseline figures, bit-identical run to run.
+    let faults = cli.faults || cli.targets.iter().any(|t| t == "faults");
+    let which: Vec<&str> = cli
+        .targets
+        .iter()
+        .map(|s| s.as_str())
+        .filter(|t| *t != "faults")
+        .collect();
+    let all = (which.is_empty() && !faults) || which.contains(&"all");
+
+    if faults {
+        run_faults(&cli);
+    }
+
+    let profile = if cli.paper {
+        Profile::Paper
+    } else {
+        Profile::Quick
+    };
+    let figs: Vec<FigureId> = FigureId::ALL
+        .into_iter()
+        .filter(|f| all || which.contains(&f.name()))
+        .collect();
+    let outputs = run_figures_with(&figs, profile, 0, cli.jobs.unwrap_or(1), cli.csv, cli.trace);
+    for out in &outputs {
+        print!("{}", out.summary);
+        for a in &out.artifacts {
+            write_result("results", &a.name, &a.content);
+        }
+    }
+}

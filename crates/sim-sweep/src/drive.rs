@@ -1,0 +1,52 @@
+//! Orchestration shared by the `runner` binary and the integration
+//! tests: run a list of figures through the executor, or expand a
+//! [`SweepSpec`], execute it, and aggregate the replicates.
+
+use sim_experiments::registry::{run_cell, CellOutput, CellRequest, FigureId, Profile};
+
+use crate::aggregate::{aggregate, SweepReport};
+use crate::executor::run_indexed;
+use crate::spec::SweepSpec;
+
+/// Run a set of figures (one cell each) at a given width.
+///
+/// Outputs come back in the order of `figs`, regardless of `jobs`, so
+/// concatenating the summaries reproduces the sequential runner's
+/// stdout byte-for-byte.
+pub fn run_figures(figs: &[FigureId], profile: Profile, seed: u64, jobs: usize) -> Vec<CellOutput> {
+    run_figures_with(figs, profile, seed, jobs, false, false)
+}
+
+/// [`run_figures`] with the legacy `--csv` / `--trace` artifact flags.
+pub fn run_figures_with(
+    figs: &[FigureId],
+    profile: Profile,
+    seed: u64,
+    jobs: usize,
+    csv: bool,
+    trace: bool,
+) -> Vec<CellOutput> {
+    let reqs: Vec<CellRequest> = figs
+        .iter()
+        .map(|&fig| {
+            let mut r = CellRequest::new(fig, profile, seed);
+            r.csv = csv;
+            r.trace = trace;
+            r
+        })
+        .collect();
+    run_indexed(reqs, jobs, run_cell)
+}
+
+/// Execute a sweep and aggregate it.
+///
+/// Returns the report plus the executed cell count (for progress
+/// messages). The report depends only on the spec — not on `jobs`.
+pub fn run_sweep(spec: &SweepSpec, jobs: usize) -> (SweepReport, usize) {
+    let cells = spec.cells();
+    let n = cells.len();
+    let outputs = run_indexed(cells, jobs, |cell| {
+        (cell.label.clone(), run_cell(&cell.request).metrics)
+    });
+    (aggregate(&outputs), n)
+}

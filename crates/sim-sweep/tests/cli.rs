@@ -1,0 +1,91 @@
+//! End-to-end tests of the `runner` binary: argument validation (a
+//! misspelled target must not silently run nothing and exit 0) and the
+//! sweep's on-disk artifacts.
+
+use std::path::Path;
+use std::process::Command;
+
+fn runner() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_runner"))
+}
+
+#[test]
+fn unknown_target_is_rejected_with_usage_and_exit_2() {
+    let out = runner().arg("fig99").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(out.stdout.is_empty(), "nothing must run");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown target: fig99"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn unknown_flag_is_rejected_with_exit_2() {
+    let out = runner().arg("--frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag: --frobnicate"));
+}
+
+#[test]
+fn bad_jobs_value_is_rejected_with_exit_2() {
+    for bad in [
+        &["--jobs", "0"][..],
+        &["--jobs", "many"][..],
+        &["--jobs"][..],
+    ] {
+        let out = runner().args(bad).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "args: {bad:?}");
+    }
+}
+
+#[test]
+fn single_figure_runs_and_prints_its_table() {
+    let out = runner().arg("fig03").output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Figure 3"), "{stdout}");
+    assert!(stdout.ends_with("\n\n"), "legacy spacing must survive");
+}
+
+#[test]
+fn sweep_writes_csv_and_json_under_results_sweeps() {
+    let tmp = std::env::temp_dir().join(format!("sim-sweep-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).unwrap();
+    let out = runner()
+        .current_dir(&tmp)
+        .args([
+            "sweep",
+            "fig03",
+            "--seeds",
+            "2",
+            "--jobs",
+            "2",
+            "--root-seed",
+            "7",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fig03"), "{stdout}");
+    assert!(
+        stdout.contains("±"),
+        "report must show mean ± ci95: {stdout}"
+    );
+
+    let csv = std::fs::read_to_string(tmp.join(Path::new("results/sweeps/sweep.csv"))).unwrap();
+    assert!(
+        csv.starts_with("cell,metric,n,dropped,mean,stddev,ci95\n"),
+        "{csv}"
+    );
+    assert!(csv.contains("fig03,deviation,2,"), "{csv}");
+    let json = std::fs::read_to_string(tmp.join(Path::new("results/sweeps/sweep.json"))).unwrap();
+    assert!(json.contains("\"cell\": \"fig03\""), "{json}");
+
+    std::fs::remove_dir_all(&tmp).ok();
+}

@@ -1,0 +1,90 @@
+//! Parallel execution must not change results: the whole point of
+//! per-cell seed streams is that a scenario's numbers depend only on
+//! its request, never on which worker ran it or in what order.
+
+use sim_experiments::registry::{FigureId, Profile};
+use sim_sweep::{run_figures, run_sweep, SweepSpec};
+
+fn concat_summaries(figs: &[FigureId], jobs: usize) -> String {
+    run_figures(figs, Profile::Quick, 0, jobs)
+        .iter()
+        .map(|o| o.summary.as_str())
+        .collect()
+}
+
+/// A cross-section of the suite cheap enough for tier-1: a plain table
+/// (fig03), the fig06 family (sched-axis figures), the tag-memory sweep
+/// (fig10), and the three-block ablation summary.
+const SUBSET: [FigureId; 4] = [
+    FigureId::Fig03,
+    FigureId::Fig06,
+    FigureId::Fig10,
+    FigureId::Ablations,
+];
+
+#[test]
+fn parallel_figures_match_sequential_bytes() {
+    let seq = concat_summaries(&SUBSET, 1);
+    let par = concat_summaries(&SUBSET, 4);
+    assert_eq!(seq, par, "jobs=4 must reproduce jobs=1 byte-for-byte");
+}
+
+/// The full `runner all` equivalence. Multiple minutes of simulation —
+/// run explicitly with `cargo test -p sim-sweep -- --ignored`.
+#[test]
+#[ignore = "minutes-long; the 4-figure subset covers tier-1"]
+fn parallel_all_matches_sequential_bytes() {
+    let seq = concat_summaries(&FigureId::ALL, 1);
+    let par = concat_summaries(&FigureId::ALL, 4);
+    assert_eq!(seq, par);
+}
+
+#[test]
+fn sweep_report_is_independent_of_jobs() {
+    let mut spec = SweepSpec::new(vec![FigureId::Fig03, FigureId::Fig06]);
+    spec.replicates = 3;
+    spec.root_seed = 42;
+    let (seq, n_seq) = run_sweep(&spec, 1);
+    let (par, n_par) = run_sweep(&spec, 4);
+    assert_eq!(n_seq, n_par);
+    assert_eq!(seq.to_csv(), par.to_csv());
+    assert_eq!(seq.to_json(), par.to_json());
+}
+
+#[test]
+fn replicates_actually_vary() {
+    // Seed replication is pointless if every seed produces the same
+    // numbers; fig06's workload RNG and the fs-layout seed must both
+    // feed through.
+    let mut spec = SweepSpec::new(vec![FigureId::Fig06]);
+    spec.replicates = 3;
+    let (report, _) = run_sweep(&spec, 2);
+    let row = report
+        .rows
+        .iter()
+        .find(|r| r.metric == "a_mean_mbps")
+        .expect("fig06 must report a_mean_mbps");
+    assert_eq!(row.summary.n, 3);
+    assert!(
+        row.summary.stddev > 0.0,
+        "three distinct seeds must not produce identical throughput"
+    );
+}
+
+#[test]
+fn zero_seed_cell_reproduces_the_historical_run() {
+    // The registry path at seed 0 must match the figure module's own
+    // default-config output — the compatibility contract that keeps
+    // `runner all` bit-identical to the pre-registry runner.
+    let direct = format!(
+        "{}\n\n",
+        sim_experiments::fig03_cfq_async_unfair::run(
+            &sim_experiments::fig03_cfq_async_unfair::Config::quick()
+        )
+    );
+    let via_registry = run_figures(&[FigureId::Fig03], Profile::Quick, 0, 1)
+        .pop()
+        .unwrap()
+        .summary;
+    assert_eq!(direct, via_registry);
+}
