@@ -273,6 +273,34 @@ impl Elevator for Cfq {
     fn name(&self) -> &'static str {
         "cfq"
     }
+
+    fn audit(&self, quiesced: bool) -> Vec<String> {
+        let mut bad = Vec::new();
+        for (key, q) in &self.queues {
+            if q.weight == 0 {
+                bad.push(format!(
+                    "cfq: queue {:?}/sync={} has zero weight",
+                    key.pid, key.sync
+                ));
+                continue;
+            }
+            // A positive weight must always yield a positive slice budget;
+            // a zero slice would starve the queue forever.
+            if self.slice_len(q.weight, key.sync).as_nanos() == 0 {
+                bad.push(format!(
+                    "cfq: queue {:?}/sync={} weight {} yields a zero-length slice",
+                    key.pid, key.sync, q.weight
+                ));
+            }
+        }
+        if quiesced {
+            let left = self.queued();
+            if left != 0 {
+                bad.push(format!("cfq: {left} request(s) queued at quiescence"));
+            }
+        }
+        bad
+    }
 }
 
 #[cfg(test)]

@@ -184,6 +184,15 @@ pub trait Elevator {
 
     /// Scheduler name for reports.
     fn name(&self) -> &'static str;
+
+    /// Self-audit the elevator's internal ledgers, returning one message
+    /// per violated invariant. `quiesced` is true when the caller knows no
+    /// request is queued or in flight, enabling stricter emptiness checks.
+    /// The default implementation reports nothing.
+    fn audit(&self, quiesced: bool) -> Vec<String> {
+        let _ = quiesced;
+        Vec::new()
+    }
 }
 
 #[cfg(test)]

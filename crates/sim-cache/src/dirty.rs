@@ -64,6 +64,13 @@ impl DirtyStore {
         self.total
     }
 
+    /// Total dirty pages recomputed from the per-file maps, ignoring the
+    /// incrementally maintained counter. Auditors cross-check this against
+    /// [`DirtyStore::total`]; any divergence means a bookkeeping bug.
+    pub fn audit_sum(&self) -> u64 {
+        self.files.values().map(|m| m.len() as u64).sum()
+    }
+
     /// Dirty pages of one file.
     pub fn pages_of(&self, file: FileId) -> u64 {
         self.files.get(&file).map(|m| m.len() as u64).unwrap_or(0)

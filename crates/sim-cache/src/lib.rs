@@ -189,6 +189,13 @@ impl PageCache {
         self.dirty.total()
     }
 
+    /// Total dirty pages recomputed from the per-file extent maps.
+    /// Must always equal [`PageCache::dirty_total`]; auditors compare the
+    /// two to catch drift in the incremental counter.
+    pub fn dirty_check_sum(&self) -> u64 {
+        self.dirty.audit_sum()
+    }
+
     /// Whether writers must be throttled (`dirty_ratio` exceeded).
     pub fn over_dirty_limit(&self) -> bool {
         self.dirty_total() >= self.cfg.dirty_limit_pages()

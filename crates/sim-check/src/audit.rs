@@ -1,0 +1,264 @@
+//! The auditor plane: a set of invariant checkers observing the kernel.
+//!
+//! The kernel feeds the plane two kinds of input. [`AuditEvent`]s are
+//! emitted inline at the interesting transitions (syscall entry/exit,
+//! block-request submission/dispatch/completion, journal commits), with
+//! borrowed payloads so the audit-free path pays nothing. An
+//! [`AuditCheckpoint`] is a periodic whole-kernel snapshot of the redundant
+//! counters (dirty-page totals, scheduler self-audits, event-queue
+//! statistics) taken at syscall completion and request completion — the
+//! points where every layer's books should agree.
+
+use sim_block::Request;
+use sim_core::{Pid, SimTime, TxnId};
+use sim_fault::WriteStep;
+use split_core::SyscallKind;
+
+use crate::auditors;
+
+/// One invariant violation: which auditor, when, and what went wrong.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Simulated time of the observation.
+    pub at: SimTime,
+    /// Name of the auditor that flagged it.
+    pub auditor: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{:.6}s] {}: {}",
+            self.at.as_secs_f64(),
+            self.auditor,
+            self.message
+        )
+    }
+}
+
+/// A cross-layer transition observed by the kernel, with payloads borrowed
+/// from the kernel's own state.
+#[derive(Debug)]
+pub enum AuditEvent<'a> {
+    /// A process entered a system call.
+    SyscallEnter {
+        /// The calling process.
+        pid: Pid,
+        /// What it asked for.
+        kind: &'a SyscallKind,
+    },
+    /// A system call completed (the process was unblocked).
+    SyscallExit {
+        /// The calling process.
+        pid: Pid,
+    },
+    /// A request entered the block layer, with its write-ahead protocol
+    /// role (`step`) as declared by the file system.
+    BlockSubmitted {
+        /// The submitted request.
+        req: &'a Request,
+        /// Protocol role of the write ([`WriteStep::Untracked`] for reads).
+        step: &'a WriteStep,
+    },
+    /// The scheduler handed a request to the device.
+    BlockDispatched {
+        /// The dispatched request.
+        req: &'a Request,
+    },
+    /// A request left the device.
+    BlockFinished {
+        /// The finished request.
+        req: &'a Request,
+        /// Whether it failed (fault injection) rather than completed.
+        failed: bool,
+    },
+    /// The file system declared a journal transaction durable.
+    TxnCommitted {
+        /// The committed transaction.
+        txn: TxnId,
+    },
+    /// The journal aborted on a log/commit write failure.
+    JournalAborted {
+        /// The transaction that was being committed.
+        txn: TxnId,
+    },
+}
+
+/// A periodic snapshot of the kernel's redundant bookkeeping.
+#[derive(Debug, Clone, Copy)]
+pub struct AuditCheckpoint<'a> {
+    /// Simulated time of the snapshot.
+    pub now: SimTime,
+    /// The page cache's incrementally maintained dirty-page counter.
+    pub cache_dirty_total: u64,
+    /// The same quantity recomputed from the per-file extent maps.
+    pub cache_dirty_sum: u64,
+    /// Messages from the scheduler's own ledger audit
+    /// ([`split_core::IoSched::audit`]).
+    pub sched_errors: &'a [String],
+    /// Events ever scheduled in the past (clamped) on the kernel's queue.
+    pub late_events: u64,
+    /// True when the kernel is known idle: no request queued or in flight,
+    /// no process mid-syscall. Enables stricter emptiness checks.
+    pub quiesced: bool,
+}
+
+/// An invariant checker. Auditors are stateful — they accumulate whatever
+/// model of the run they need — and report violations as strings; the
+/// plane stamps them with time and auditor name.
+pub trait Auditor {
+    /// Short name used in violation reports.
+    fn name(&self) -> &'static str;
+
+    /// Observe a cross-layer transition.
+    fn on_event(&mut self, now: SimTime, ev: &AuditEvent<'_>, out: &mut Vec<String>) {
+        let _ = (now, ev, out);
+    }
+
+    /// Observe a bookkeeping snapshot.
+    fn on_checkpoint(&mut self, cp: &AuditCheckpoint<'_>, out: &mut Vec<String>) {
+        let _ = (cp, out);
+    }
+}
+
+/// Cap on recorded violations: a systematically broken invariant fires on
+/// every request, and the report is no better for the repetition.
+const MAX_VIOLATIONS: usize = 256;
+
+/// The installed set of auditors plus the violations they have found.
+pub struct AuditPlane {
+    auditors: Vec<Box<dyn Auditor>>,
+    violations: Vec<Violation>,
+    /// Total violations observed, including those dropped past the cap.
+    total: u64,
+    scratch: Vec<String>,
+}
+
+impl std::fmt::Debug for AuditPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AuditPlane")
+            .field("auditors", &self.auditors.len())
+            .field("violations", &self.violations.len())
+            .field("total", &self.total)
+            .finish()
+    }
+}
+
+impl AuditPlane {
+    /// A plane running the given auditors.
+    pub fn new(auditors: Vec<Box<dyn Auditor>>) -> Self {
+        AuditPlane {
+            auditors,
+            violations: Vec::new(),
+            total: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The standard battery: cause-tag conservation, dirty-page
+    /// accounting, journal ordering, scheduler ledgers, event-queue
+    /// sanity.
+    pub fn standard() -> Self {
+        Self::new(vec![
+            Box::new(auditors::CauseTagAuditor::new()),
+            Box::new(auditors::DirtyAccountingAuditor::new()),
+            Box::new(auditors::JournalOrderAuditor::new()),
+            Box::new(auditors::SchedLedgerAuditor::new()),
+            Box::new(auditors::EventQueueAuditor::new()),
+        ])
+    }
+
+    /// Feed one transition to every auditor.
+    pub fn observe(&mut self, now: SimTime, ev: &AuditEvent<'_>) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for a in &mut self.auditors {
+            scratch.clear();
+            a.on_event(now, ev, &mut scratch);
+            let name = a.name();
+            for message in scratch.drain(..) {
+                Self::record(&mut self.violations, &mut self.total, now, name, message);
+            }
+        }
+        self.scratch = scratch;
+    }
+
+    /// Feed one snapshot to every auditor.
+    pub fn checkpoint(&mut self, cp: &AuditCheckpoint<'_>) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for a in &mut self.auditors {
+            scratch.clear();
+            a.on_checkpoint(cp, &mut scratch);
+            let name = a.name();
+            for message in scratch.drain(..) {
+                Self::record(&mut self.violations, &mut self.total, cp.now, name, message);
+            }
+        }
+        self.scratch = scratch;
+    }
+
+    fn record(
+        violations: &mut Vec<Violation>,
+        total: &mut u64,
+        at: SimTime,
+        auditor: &'static str,
+        message: String,
+    ) {
+        *total += 1;
+        if violations.len() < MAX_VIOLATIONS {
+            violations.push(Violation {
+                at,
+                auditor,
+                message,
+            });
+        }
+    }
+
+    /// Violations recorded so far (capped; see [`AuditPlane::total`]).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Total violations observed, including any dropped past the
+    /// recording cap.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Grumpy;
+    impl Auditor for Grumpy {
+        fn name(&self) -> &'static str {
+            "grumpy"
+        }
+        fn on_checkpoint(&mut self, _cp: &AuditCheckpoint<'_>, out: &mut Vec<String>) {
+            out.push("no".into());
+        }
+    }
+
+    #[test]
+    fn violations_are_stamped_and_capped() {
+        let mut plane = AuditPlane::new(vec![Box::new(Grumpy)]);
+        let cp = AuditCheckpoint {
+            now: SimTime::from_nanos(42),
+            cache_dirty_total: 0,
+            cache_dirty_sum: 0,
+            sched_errors: &[],
+            late_events: 0,
+            quiesced: false,
+        };
+        for _ in 0..(MAX_VIOLATIONS + 10) {
+            plane.checkpoint(&cp);
+        }
+        assert_eq!(plane.violations().len(), MAX_VIOLATIONS);
+        assert_eq!(plane.total(), (MAX_VIOLATIONS + 10) as u64);
+        assert_eq!(plane.violations()[0].auditor, "grumpy");
+        assert_eq!(plane.violations()[0].at, SimTime::from_nanos(42));
+    }
+}

@@ -1,0 +1,28 @@
+//! Correctness tooling: generative workload fuzzing plus a cross-layer
+//! invariant auditor plane.
+//!
+//! The paper's claims rest on cross-layer bookkeeping being exact — cause
+//! tags conserved from syscall to block dispatch, journal entanglement
+//! ordering, token-ledger balance. The hand-written figure scenarios only
+//! exercise the paths the figures need; this crate generates syscall
+//! programs we did not imagine ([`generate`]), audits every run against
+//! the invariants ([`AuditPlane`]), and shrinks any failure to a small
+//! replayable reproducer ([`shrink`]).
+//!
+//! The plane mirrors sim-fault's design: it is `Option`-installed via the
+//! kernel config, and the audit-free path stays byte-identical.
+
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod auditors;
+pub mod gen;
+pub mod program;
+pub mod sabotage;
+pub mod shrink;
+
+pub use audit::{AuditCheckpoint, AuditEvent, AuditPlane, Auditor, Violation};
+pub use gen::{generate, GenConfig};
+pub use program::{FileRef, OpSpec, ProcSpec, ProgramSpec};
+pub use sabotage::Sabotaged;
+pub use shrink::shrink;

@@ -1,0 +1,173 @@
+//! Delta-debugging shrinker: minimize a failing program while the
+//! caller-supplied predicate keeps failing.
+//!
+//! Classic ddmin adapted to the two-level structure of a
+//! [`ProgramSpec`]: first drop whole processes, then binary-chunked op
+//! ranges within each process (halving the chunk size down to single
+//! ops), then the scalar knobs (shared file count and size). Every
+//! candidate is [`ProgramSpec::sanitize`]d before testing, so removing a
+//! `creat` automatically drops the ops that referenced the orphaned file
+//! rather than producing an invalid program. Passes repeat to a fixpoint.
+
+use crate::program::ProgramSpec;
+
+/// Bound on predicate evaluations: each one replays a simulation, and a
+/// pathological spec must not turn shrinking into the slow part.
+const MAX_TESTS: usize = 2000;
+
+struct Shrinker<F> {
+    fails: F,
+    tests: usize,
+}
+
+impl<F: FnMut(&ProgramSpec) -> bool> Shrinker<F> {
+    /// Test a candidate; returns the sanitized candidate if it still fails.
+    fn try_accept(&mut self, candidate: ProgramSpec) -> Option<ProgramSpec> {
+        if self.tests >= MAX_TESTS {
+            return None;
+        }
+        self.tests += 1;
+        let candidate = candidate.sanitize();
+        if (self.fails)(&candidate) {
+            Some(candidate)
+        } else {
+            None
+        }
+    }
+
+    fn drop_procs(&mut self, cur: &mut ProgramSpec) -> bool {
+        let mut progressed = false;
+        let mut i = 0;
+        while i < cur.procs.len() && cur.procs.len() > 1 {
+            let mut cand = cur.clone();
+            cand.procs.remove(i);
+            match self.try_accept(cand) {
+                Some(c) => {
+                    *cur = c;
+                    progressed = true;
+                    // Same index now names the next proc; don't advance.
+                }
+                None => i += 1,
+            }
+        }
+        progressed
+    }
+
+    fn drop_op_chunks(&mut self, cur: &mut ProgramSpec) -> bool {
+        let mut progressed = false;
+        for pi in 0..cur.procs.len() {
+            let mut chunk = (cur.procs[pi].ops.len() / 2).max(1);
+            loop {
+                let mut start = 0;
+                while start < cur.procs[pi].ops.len() {
+                    let end = (start + chunk).min(cur.procs[pi].ops.len());
+                    let mut cand = cur.clone();
+                    cand.procs[pi].ops.drain(start..end);
+                    match self.try_accept(cand) {
+                        Some(c) => {
+                            *cur = c;
+                            progressed = true;
+                            // The window now holds the following ops.
+                        }
+                        None => start = end,
+                    }
+                }
+                if chunk == 1 {
+                    break;
+                }
+                chunk /= 2;
+            }
+        }
+        progressed
+    }
+
+    fn shrink_knobs(&mut self, cur: &mut ProgramSpec) -> bool {
+        let mut progressed = false;
+        if cur.shared_files > 1 {
+            let mut cand = cur.clone();
+            cand.shared_files = 1;
+            if let Some(c) = self.try_accept(cand) {
+                *cur = c;
+                progressed = true;
+            }
+        }
+        if cur.shared_bytes > 4096 {
+            let mut cand = cur.clone();
+            cand.shared_bytes = 4096;
+            if let Some(c) = self.try_accept(cand) {
+                *cur = c;
+                progressed = true;
+            }
+        }
+        progressed
+    }
+}
+
+/// Minimize `orig` — which must fail `fails` — returning the smallest
+/// still-failing program found. `fails` returns true while the defect
+/// reproduces.
+pub fn shrink<F: FnMut(&ProgramSpec) -> bool>(orig: &ProgramSpec, fails: F) -> ProgramSpec {
+    let mut s = Shrinker { fails, tests: 0 };
+    let mut cur = orig.sanitize();
+    loop {
+        let mut progressed = s.drop_procs(&mut cur);
+        progressed |= s.drop_op_chunks(&mut cur);
+        progressed |= s.shrink_knobs(&mut cur);
+        if !progressed || s.tests >= MAX_TESTS {
+            return cur;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+    use crate::program::{FileRef, OpSpec};
+    use sim_core::SimRng;
+
+    /// A fake defect: the program fails iff it fsyncs an owned file.
+    fn fails(p: &ProgramSpec) -> bool {
+        p.procs.iter().any(|pr| {
+            pr.ops.iter().any(|o| {
+                matches!(
+                    o,
+                    OpSpec::Fsync {
+                        file: FileRef::Own(_)
+                    }
+                )
+            })
+        })
+    }
+
+    #[test]
+    fn shrinks_to_the_minimal_trigger() {
+        let cfg = GenConfig {
+            max_procs: 3,
+            max_ops: 24,
+            ..GenConfig::default()
+        };
+        let mut found = 0;
+        for i in 0..80 {
+            let p = generate(&mut SimRng::stream(11, i), &cfg);
+            if !fails(&p) {
+                continue;
+            }
+            found += 1;
+            let small = shrink(&p, fails);
+            assert!(fails(&small), "shrunk program must still fail");
+            // Minimal trigger: one proc, `creat` + `fsync o0`.
+            assert_eq!(small.procs.len(), 1, "{small}");
+            assert_eq!(small.syscall_count(), 2, "{small}");
+        }
+        assert!(found >= 3, "seed choice should produce failing programs");
+    }
+
+    #[test]
+    fn shrinking_never_invalidates_the_program() {
+        let p = generate(&mut SimRng::stream(13, 0), &GenConfig::default());
+        let small = shrink(&p, |q| q.syscall_count() >= 2);
+        assert_eq!(small.sanitize(), small);
+        assert!(small.syscall_count() >= 2);
+    }
+}

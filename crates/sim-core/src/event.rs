@@ -59,6 +59,7 @@ pub struct EventQueue<E> {
     now: SimTime,
     seq: u64,
     popped: u64,
+    late: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -75,6 +76,7 @@ impl<E> EventQueue<E> {
             now: SimTime::ZERO,
             seq: 0,
             popped: 0,
+            late: 0,
         }
     }
 
@@ -102,9 +104,21 @@ impl<E> EventQueue<E> {
         self.popped
     }
 
+    /// Times scheduled in the past so far (each was clamped to `now`).
+    /// Always zero in a correct simulation; release builds expose the
+    /// count so the invariant stays checkable where the debug assertion
+    /// in [`EventQueue::schedule`] is compiled out.
+    #[inline]
+    pub fn late_schedules(&self) -> u64 {
+        self.late
+    }
+
     /// Schedule `payload` to fire at `time`. Times in the past are clamped
     /// to `now` so the simulation can never move backwards.
     pub fn schedule(&mut self, time: SimTime, payload: E) {
+        if time < self.now {
+            self.late += 1;
+        }
         debug_assert!(
             time >= self.now,
             "scheduled an event in the past: {time:?} < {:?}",

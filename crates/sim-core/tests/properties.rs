@@ -141,3 +141,74 @@ fn percentiles_struct_matches_free_function() {
         assert_eq!(ps.len(), xs.len());
     }
 }
+
+/// The 95% CI is a non-degenerate interval around the mean: the mean
+/// sits inside its own bounds and the half-width matches the normal
+/// approximation from the reported stddev and count.
+#[test]
+fn summary_ci_bounds_contain_the_mean() {
+    let mut rng = SimRng::seed_from_u64(0xC1A0);
+    for _ in 0..256 {
+        let n = 2 + rng.gen_range(62) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| rng.gen_f64() * 1e6 - 5e5).collect();
+        let s = sim_core::stats::summarize(&xs);
+        assert_eq!(s.n, n);
+        assert_eq!(s.dropped, 0);
+        assert!(s.stddev >= 0.0);
+        assert!(s.ci95 >= 0.0);
+        assert!(s.mean - s.ci95 <= s.mean && s.mean <= s.mean + s.ci95);
+        let expect = 1.96 * s.stddev / (n as f64).sqrt();
+        assert!((s.ci95 - expect).abs() <= 1e-9 * expect.max(1.0));
+        let manual = xs.iter().sum::<f64>() / n as f64;
+        assert!((s.mean - manual).abs() <= 1e-9 * manual.abs().max(1.0));
+    }
+}
+
+/// Non-finite samples are counted as dropped and have no effect on the
+/// aggregates: a poisoned sample set summarizes identically to its
+/// finite subset.
+#[test]
+fn summary_drops_non_finite_without_poisoning() {
+    let mut rng = SimRng::seed_from_u64(0xBAD5EED);
+    let poisons = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY];
+    for _ in 0..256 {
+        let n = 1 + rng.gen_range(40) as usize;
+        let finite: Vec<f64> = (0..n).map(|_| rng.gen_f64() * 1e3).collect();
+        // Splice a random number of poison values at random positions.
+        let mut mixed = finite.clone();
+        let k = 1 + rng.gen_range(8) as usize;
+        for _ in 0..k {
+            let at = rng.gen_range(mixed.len() as u64 + 1) as usize;
+            let p = poisons[rng.gen_range(3) as usize];
+            mixed.insert(at, p);
+        }
+        let clean = sim_core::stats::summarize(&finite);
+        let dirty = sim_core::stats::summarize(&mixed);
+        assert_eq!(dirty.dropped, k, "every poison sample must be counted");
+        assert_eq!(dirty.n, clean.n);
+        assert_eq!(dirty.mean, clean.mean, "mean poisoned by non-finite input");
+        assert_eq!(dirty.stddev, clean.stddev);
+        assert_eq!(dirty.ci95, clean.ci95);
+        assert!(dirty.mean.is_finite() && dirty.stddev.is_finite());
+    }
+}
+
+/// Degenerate sample counts: a single sample has zero spread and zero
+/// CI (not NaN), and an all-poison set reports everything dropped.
+#[test]
+fn summary_degenerate_inputs() {
+    let mut rng = SimRng::seed_from_u64(0x51);
+    for _ in 0..64 {
+        let x = rng.gen_f64() * 1e6;
+        let s = sim_core::stats::summarize(&[x]);
+        assert_eq!((s.n, s.dropped), (1, 0));
+        assert_eq!(s.mean, x);
+        assert_eq!(s.stddev, 0.0, "single-sample stddev must be 0, not NaN");
+        assert_eq!(s.ci95, 0.0);
+    }
+    let s = sim_core::stats::summarize(&[f64::NAN, f64::INFINITY]);
+    assert_eq!((s.n, s.dropped), (0, 2));
+    assert_eq!((s.mean, s.stddev, s.ci95), (0.0, 0.0, 0.0));
+    let empty = sim_core::stats::summarize(&[]);
+    assert_eq!((empty.n, empty.dropped), (0, 0));
+}

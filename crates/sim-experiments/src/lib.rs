@@ -31,7 +31,7 @@ pub mod registry;
 pub mod setup;
 pub mod table;
 
-pub use setup::{build_world, DeviceChoice, SchedChoice, Setup};
+pub use setup::{build_world, kernel_config, DeviceChoice, SchedChoice, Setup};
 
 /// Re-exported units for experiment configs.
 pub const KB: u64 = 1024;

@@ -36,7 +36,9 @@ pub enum SchedChoice {
 }
 
 impl SchedChoice {
-    fn build(self) -> Box<dyn IoSched> {
+    /// Instantiate the scheduler (also used by the check harness to pair
+    /// each policy with a sabotage wrapper).
+    pub fn build(self) -> Box<dyn IoSched> {
         match self {
             SchedChoice::Noop => Box::new(BlockOnly::new(Noop::new())),
             SchedChoice::Cfq => Box::new(BlockOnly::new(Cfq::new())),
@@ -93,7 +95,8 @@ pub enum DeviceChoice {
 }
 
 impl DeviceChoice {
-    fn build(self) -> DeviceKind {
+    /// Instantiate the device model.
+    pub fn build(self) -> DeviceKind {
         match self {
             DeviceChoice::Hdd => DeviceKind::Physical(Box::new(HddModel::new())),
             DeviceChoice::Ssd => DeviceKind::Physical(Box::new(SsdModel::new())),
@@ -173,10 +176,10 @@ impl Setup {
     }
 }
 
-/// Build a world with a single kernel per the setup.
-pub fn build_world(setup: Setup) -> (World, KernelId) {
-    let mut w = World::new();
-    let cfg = KernelConfig {
+/// The kernel configuration a setup implies (shared with the check
+/// harness, which installs an audit plane on top before building).
+pub fn kernel_config(setup: Setup) -> KernelConfig {
+    KernelConfig {
         fs: setup.fs,
         cache: CacheConfig {
             mem_bytes: setup.mem_bytes,
@@ -188,8 +191,17 @@ pub fn build_world(setup: Setup) -> (World, KernelId) {
         gate_reads: setup.sched.gates_reads(),
         fs_seed: setup.seed,
         ..Default::default()
-    };
-    let k = w.add_kernel(cfg, setup.device.build(), setup.sched.build());
+    }
+}
+
+/// Build a world with a single kernel per the setup.
+pub fn build_world(setup: Setup) -> (World, KernelId) {
+    let mut w = World::new();
+    let k = w.add_kernel(
+        kernel_config(setup),
+        setup.device.build(),
+        setup.sched.build(),
+    );
     (w, k)
 }
 

@@ -1,0 +1,42 @@
+//! Golden-output regression tests: the exact legacy stdout of selected
+//! figures at seed 0 is snapshotted under `tests/golden/` and must stay
+//! byte-identical. The simulation is deterministic, so any diff means a
+//! behavior change — intended changes regenerate the snapshots with
+//! `UPDATE_GOLDEN=1 cargo test -p sim-experiments --test golden_outputs`.
+
+use sim_experiments::registry::{run_cell, CellRequest, FigureId, Profile};
+
+fn check(fig: FigureId, file: &str) {
+    let out = run_cell(&CellRequest::new(fig, Profile::Quick, 0)).summary;
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(file);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &out).expect("write snapshot");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing snapshot {} ({e}); run with UPDATE_GOLDEN=1", file));
+    assert_eq!(
+        out,
+        want,
+        "{} output drifted from its seed-0 snapshot; if the change is \
+         intended, regenerate with UPDATE_GOLDEN=1",
+        fig.name()
+    );
+}
+
+#[test]
+fn fig01_output_is_byte_identical_at_seed_0() {
+    check(FigureId::Fig01, "fig01_seed0.txt");
+}
+
+#[test]
+fn fig12_output_is_byte_identical_at_seed_0() {
+    check(FigureId::Fig12, "fig12_seed0.txt");
+}
+
+#[test]
+fn fig19_output_is_byte_identical_at_seed_0() {
+    check(FigureId::Fig19, "fig19_seed0.txt");
+}

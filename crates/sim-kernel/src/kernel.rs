@@ -6,13 +6,14 @@ use std::collections::{HashMap, HashSet, VecDeque};
 
 use sim_block::{Dispatch, IoPrio, PrioClass, ReqKind, Request};
 use sim_cache::{CacheConfig, PageCache};
+use sim_check::{AuditCheckpoint, AuditEvent, AuditPlane};
 use sim_core::stats::TimeSeries;
 use sim_core::{
     CauseSet, FileId, IdAlloc, IoError, IoErrorKind, KernelId, Pid, RequestId, SimDuration,
     SimTime, PAGE_SIZE,
 };
 use sim_device::{DiskModel, HddModel, SsdModel};
-use sim_fault::{DeviceFaultPlane, Fault};
+use sim_fault::{DeviceFaultPlane, Fault, WriteStep};
 use sim_fs::{FileSystem, FsConfig, FsEvent, FsOutput, IoToken, JournaledFs};
 use sim_trace::{Layer, RequestTrace, SpanId, Tracer};
 use split_core::{
@@ -112,6 +113,9 @@ pub struct KernelConfig {
     /// (the default) keeps the historical on-disk layout; sweeps set it to
     /// vary allocator and metadata placement across replicates.
     pub fs_seed: u64,
+    /// Cross-layer invariant auditors. `None` (the default) keeps every
+    /// hot path free of audit bookkeeping, mirroring the fault plane.
+    pub audit: Option<AuditPlane>,
 }
 
 impl Default for KernelConfig {
@@ -126,6 +130,7 @@ impl Default for KernelConfig {
             wb_batch_pages: 2048,
             wb_tick: SimDuration::from_millis(200),
             fs_seed: 0,
+            audit: None,
         }
     }
 }
@@ -218,16 +223,20 @@ pub struct Kernel {
     /// Fault-injection plan, if installed. `None` (the default) keeps the
     /// dispatch path byte-for-byte identical to the fault-free build.
     fault_plane: Option<DeviceFaultPlane>,
+    /// Invariant auditors, if installed (same opt-in contract as the
+    /// fault plane).
+    audit: Option<AuditPlane>,
 }
 
 impl Kernel {
     /// Build a kernel. Called through [`crate::World::add_kernel`].
     pub(crate) fn new(
         id: KernelId,
-        cfg: KernelConfig,
+        mut cfg: KernelConfig,
         device: DeviceKind,
         sched: Box<dyn IoSched>,
     ) -> Self {
+        let audit = cfg.audit.take();
         let journal_pid = Pid(1);
         let writeback_pid = Pid(2);
         let blocks = device.capacity_blocks();
@@ -269,6 +278,7 @@ impl Kernel {
             stats: KernelStats::default(),
             tracer,
             fault_plane: None,
+            audit,
         }
     }
 
@@ -434,6 +444,54 @@ impl Kernel {
         self.fault_plane.as_ref()
     }
 
+    /// Install an invariant auditor plane (alternative to
+    /// [`KernelConfig::audit`] for kernels built before the plane exists).
+    pub fn install_audit_plane(&mut self, plane: AuditPlane) {
+        self.audit = Some(plane);
+    }
+
+    /// The installed auditor plane, if any (inspect its violations).
+    pub fn audit_plane(&self) -> Option<&AuditPlane> {
+        self.audit.as_ref()
+    }
+
+    /// Whether the block layer is fully drained: nothing queued in the
+    /// scheduler and nothing on the device. The check harness requires
+    /// this before declaring quiescence.
+    pub fn block_idle(&self) -> bool {
+        self.inflight.is_none() && self.sched.queued() == 0
+    }
+
+    /// Run the auditors' final checkpoint with the quiescence flag set;
+    /// call once after the event queue drains.
+    pub fn audit_quiesce(&mut self, bus: &Bus) {
+        self.audit_checkpoint(bus, true);
+    }
+
+    /// Feed one audit event to the plane, if installed.
+    fn audit_event(&mut self, now: SimTime, ev: AuditEvent<'_>) {
+        if let Some(plane) = self.audit.as_mut() {
+            plane.observe(now, &ev);
+        }
+    }
+
+    /// Snapshot cross-layer counters for the plane's checkpoint auditors.
+    fn audit_checkpoint(&mut self, bus: &Bus, quiesced: bool) {
+        if self.audit.is_none() {
+            return;
+        }
+        let sched_errors = self.sched.audit(quiesced);
+        let cp = AuditCheckpoint {
+            now: bus.q.now(),
+            cache_dirty_total: self.cache.dirty_total(),
+            cache_dirty_sum: self.cache.dirty_check_sum(),
+            sched_errors: &sched_errors,
+            late_events: bus.q.late_schedules(),
+            quiesced,
+        };
+        self.audit.as_mut().expect("checked above").checkpoint(&cp);
+    }
+
     /// The writeback daemon's pid.
     pub fn writeback_pid(&self) -> Pid {
         self.writeback_pid
@@ -579,6 +637,7 @@ impl Kernel {
 
     fn begin_syscall(&mut self, pid: Pid, kind: SyscallKind, bus: &mut Bus) {
         let now = bus.q.now();
+        self.audit_event(now, AuditEvent::SyscallEnter { pid, kind: &kind });
         {
             let proc = self.procs.get_mut(&pid).expect("proc exists");
             let gated = kind.is_write_like() || self.cfg.gate_reads;
@@ -747,7 +806,7 @@ impl Kernel {
                             .pending_io
                             .insert(id);
                         issued = true;
-                        self.add_request(req, bus);
+                        self.add_request(req, &WriteStep::Untracked, bus);
                     }
                 }
                 if issued {
@@ -857,6 +916,8 @@ impl Kernel {
             cached,
         };
         self.with_sched(bus, |s, ctx| s.syscall_exit(&info, ctx));
+        self.audit_event(now, AuditEvent::SyscallExit { pid });
+        self.audit_checkpoint(bus, false);
 
         let proc = self.procs.get_mut(&pid).expect("proc exists");
         proc.last = outcome;
@@ -881,7 +942,11 @@ impl Kernel {
 
     // ---- block layer ------------------------------------------------------
 
-    fn add_request(&mut self, req: Request, bus: &mut Bus) {
+    fn add_request(&mut self, req: Request, step: &WriteStep, bus: &mut Bus) {
+        if self.audit.is_some() {
+            let now = bus.q.now();
+            self.audit_event(now, AuditEvent::BlockSubmitted { req: &req, step });
+        }
         if req.ioprio.class == PrioClass::BestEffort {
             self.stats.req_prio_hist[req.ioprio.level.min(7) as usize] += 1;
         }
@@ -916,6 +981,10 @@ impl Kernel {
                 Dispatch::Issue(req) => {
                     self.stats.requests_dispatched += 1;
                     self.stats.device_bytes += req.bytes();
+                    if self.audit.is_some() {
+                        let now = bus.q.now();
+                        self.audit_event(now, AuditEvent::BlockDispatched { req: &req });
+                    }
                     if self.tracer.enabled() {
                         let now = bus.q.now();
                         let qs = self
@@ -1053,6 +1122,16 @@ impl Kernel {
             }
         }
         let failed = self.req_meta.get(&req.id).and_then(|m| m.failed);
+        // Audit the completion BEFORE the scheduler and fs hooks run, so a
+        // TxnCommitted generated by absorbing this request's fs token is
+        // observed after its commit record finished.
+        self.audit_event(
+            now,
+            AuditEvent::BlockFinished {
+                req: &req,
+                failed: failed.is_some(),
+            },
+        );
         if let Some(err) = failed {
             self.stats.io_errors += 1;
             self.with_sched(bus, |s, ctx| s.block_failed(&req, err, ctx));
@@ -1121,6 +1200,7 @@ impl Kernel {
         }
         self.wake_dirty_waiters(bus);
         self.cache.sample_tagmem();
+        self.audit_checkpoint(bus, false);
         self.try_dispatch(bus);
     }
 
@@ -1245,7 +1325,8 @@ impl Kernel {
             };
             self.with_sched(bus, |s, ctx| s.buffer_freed(&bf, ctx));
         }
-        for io in out.ios {
+        for mut io in out.ios {
+            let step = std::mem::take(&mut io.step);
             let id = RequestId(self.req_ids.next());
             let attrs = self.attrs.get(&io.submitter).copied().unwrap_or_default();
             let deadline = match io.dir {
@@ -1280,7 +1361,7 @@ impl Kernel {
                 file: io.file,
                 kind: io.kind,
             };
-            self.add_request(req, bus);
+            self.add_request(req, &step, bus);
         }
         for ev in out.events {
             match ev {
@@ -1314,9 +1395,12 @@ impl Kernel {
                         self.kick_writeback(bus);
                     }
                 }
-                FsEvent::TxnCommitted { .. } => {}
-                FsEvent::JournalAborted { .. } => {
+                FsEvent::TxnCommitted { txn } => {
+                    self.audit_event(now, AuditEvent::TxnCommitted { txn });
+                }
+                FsEvent::JournalAborted { txn, .. } => {
                     self.stats.journal_aborts += 1;
+                    self.audit_event(now, AuditEvent::JournalAborted { txn });
                 }
             }
         }

@@ -177,6 +177,18 @@ impl World {
         &mut self.kernels[k.raw() as usize]
     }
 
+    /// Run kernel `k`'s auditors with the quiescence flag set; call after
+    /// the event queue drains (see [`World::run_to_idle`]).
+    pub fn audit_quiesce(&mut self, k: KernelId) {
+        self.kernels[k.raw() as usize].audit_quiesce(&self.bus);
+    }
+
+    /// How many events were scheduled in the past and clamped to `now`
+    /// (should stay zero; the event-queue auditor reports increases).
+    pub fn late_schedules(&self) -> u64 {
+        self.bus.q.late_schedules()
+    }
+
     /// Spawn a workload process on kernel `k`.
     pub fn spawn(&mut self, k: KernelId, logic: Box<dyn ProcessLogic>) -> Pid {
         let pid = self.kernels[k.raw() as usize].spawn(logic, &mut self.bus);

@@ -5,6 +5,8 @@
 //! runner [--paper] [--csv] [--trace] [--faults] [--jobs N] [TARGET...]
 //! runner sweep [FIGURE...] [--seeds N] [--jobs N] [--root-seed N]
 //!              [--sched NAME]... [--device NAME]... [--paper]
+//! runner check [--programs N] [--jobs N] [--root-seed N] [--shrink]
+//!              [--replay FILE]
 //! ```
 //!
 //! Targets are `fig01 … fig21`, `ablations`, `breakdown`, `faults`,
@@ -27,6 +29,13 @@
 //! and writes `results/sweeps/sweep.{csv,json}`. `--sched` / `--device`
 //! add grid axes, applied to the figures that support them.
 //!
+//! `check` fuzzes `--programs N` generated syscall programs (default 50)
+//! through every scheduler on both devices with the invariant auditors
+//! installed, comparing outcomes against the noop reference. `--shrink`
+//! minimizes any failure to a small replayable spec; `--replay FILE`
+//! re-checks a previously printed spec instead of generating. Exit code
+//! 1 on any violation.
+//!
 //! Unknown targets or flags are an error: usage goes to stderr and the
 //! exit code is 2, so a misspelled `fig99` can't silently run nothing
 //! and exit 0.
@@ -35,16 +44,18 @@ use sim_experiments as exp;
 
 use exp::registry::{FigureId, Profile};
 use exp::setup::{DeviceChoice, SchedChoice};
-use sim_sweep::{run_figures_with, run_sweep, SweepSpec};
+use sim_sweep::{run_check, run_figures_with, run_replay, run_sweep, CheckConfig, SweepSpec};
 
 const USAGE: &str = "\
 usage: runner [--paper] [--csv] [--trace] [--faults] [--jobs N] [TARGET...]
        runner sweep [FIGURE...] [--seeds N] [--jobs N] [--root-seed N]
                     [--sched NAME]... [--device NAME]... [--paper]
+       runner check [--programs N] [--jobs N] [--root-seed N] [--shrink]
+                    [--replay FILE]
 
 targets: fig01 fig03 fig05 fig06 fig09 fig10 fig11 fig12 fig13 fig14
          fig15 fig16 fig17 fig18 fig19 fig20 fig21 ablations breakdown
-         faults all sweep
+         faults all sweep check
 scheds:  noop cfq block-deadline scs-token afq split-deadline
          split-pdflush split-token split-noop
 devices: hdd ssd";
@@ -98,6 +109,9 @@ struct Cli {
     jobs: Option<usize>,
     seeds: Option<u32>,
     root_seed: u64,
+    programs: Option<usize>,
+    shrink: bool,
+    replay: Option<String>,
     scheds: Vec<SchedChoice>,
     devices: Vec<DeviceChoice>,
     targets: Vec<String>,
@@ -150,6 +164,18 @@ fn parse_cli(args: &[String]) -> Cli {
                     _ => die(&format!("invalid --root-seed value: {v}")),
                 }
             }
+            "--programs" => {
+                let v = value(&mut it, "--programs", inline);
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => cli.programs = Some(n),
+                    _ => die(&format!("invalid --programs value: {v}")),
+                }
+            }
+            "--shrink" => cli.shrink = true,
+            "--replay" => {
+                let v = value(&mut it, "--replay", inline);
+                cli.replay = Some(v);
+            }
             "--sched" => {
                 let v = value(&mut it, "--sched", inline);
                 match parse_sched(&v) {
@@ -166,8 +192,8 @@ fn parse_cli(args: &[String]) -> Cli {
             }
             f if f.starts_with("--") => die(&format!("unknown flag: {f}")),
             name => {
-                let known =
-                    FigureId::parse(name).is_some() || matches!(name, "all" | "faults" | "sweep");
+                let known = FigureId::parse(name).is_some()
+                    || matches!(name, "all" | "faults" | "sweep" | "check");
                 if !known {
                     die(&format!("unknown target: {name}"));
                 }
@@ -251,9 +277,47 @@ fn sweep_main(cli: &Cli) {
     write_result("results/sweeps", "sweep.json", &report.to_json());
 }
 
+fn check_main(cli: &Cli) {
+    let report = match &cli.replay {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+            run_replay(&text, cli.shrink).unwrap_or_else(|e| die(&format!("bad replay spec: {e}")))
+        }
+        None => {
+            let cfg = CheckConfig {
+                programs: cli.programs.unwrap_or(50),
+                jobs: cli.jobs.unwrap_or(1),
+                root_seed: cli.root_seed,
+                shrink: cli.shrink,
+            };
+            eprintln!(
+                "check: {} program(s) on {} job(s), root seed {}",
+                cfg.programs, cfg.jobs, cfg.root_seed
+            );
+            run_check(&cfg)
+        }
+    };
+    print!("{}", report.render(cli.root_seed));
+    if !report.failures.is_empty() {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = parse_cli(&args);
+
+    if cli.targets.iter().any(|t| t == "check") {
+        if cli.faults || cli.trace || cli.csv || cli.paper {
+            die("check does not combine with --faults/--csv/--trace/--paper");
+        }
+        if cli.targets.len() > 1 {
+            die("check does not combine with other targets");
+        }
+        check_main(&cli);
+        return;
+    }
 
     if cli.targets.iter().any(|t| t == "sweep") {
         if cli.faults || cli.trace || cli.csv {

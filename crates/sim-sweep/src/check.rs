@@ -1,0 +1,476 @@
+//! `runner check` — generative differential checking of the whole stack.
+//!
+//! Each generated program (see `sim-check`) is replayed under every
+//! scheduler on both device models with the invariant auditor plane
+//! installed. Two independent oracles run per program:
+//!
+//! 1. **Auditors** — cause-tag conservation, dirty-page accounting,
+//!    journal write ordering, scheduler ledgers, and event-queue sanity,
+//!    checked continuously inside the kernel.
+//! 2. **Differential** — the per-process sequence of syscall outcomes
+//!    (bytes read/written, fsync durability, creat/unlink completions)
+//!    must be identical to the `noop` reference on the same device:
+//!    schedulers reorder and delay I/O but must never change results.
+//!
+//! A failing program is minimized with `sim-check`'s delta-debugging
+//! shrinker (`--shrink`) and printed as a replayable spec; feed the text
+//! back with `--replay FILE` to reproduce a report without re-fuzzing.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use sim_check::{generate, shrink, AuditPlane, FileRef, GenConfig, OpSpec, ProgramSpec, Sabotaged};
+use sim_core::{FileId, IoErrorKind, SimDuration, SimRng};
+use sim_experiments::setup::{kernel_config, DeviceChoice, SchedChoice, Setup};
+use sim_fault::DeviceFaultPlane;
+use sim_kernel::{Outcome, ProcAction, ProcessLogic, World};
+use split_core::{IoSched, SyscallKind};
+
+use crate::executor::run_indexed;
+
+/// Every scheduler the matrix covers; `ALL_SCHEDS[0]` is the reference.
+pub const ALL_SCHEDS: [SchedChoice; 9] = [
+    SchedChoice::Noop,
+    SchedChoice::Cfq,
+    SchedChoice::BlockDeadline,
+    SchedChoice::ScsToken,
+    SchedChoice::Afq,
+    SchedChoice::SplitDeadline,
+    SchedChoice::SplitPdflush,
+    SchedChoice::SplitToken,
+    SchedChoice::SplitNoop,
+];
+
+/// Both device models.
+pub const ALL_DEVICES: [DeviceChoice; 2] = [DeviceChoice::Hdd, DeviceChoice::Ssd];
+
+fn device_name(d: DeviceChoice) -> &'static str {
+    match d {
+        DeviceChoice::Hdd => "hdd",
+        DeviceChoice::Ssd => "ssd",
+    }
+}
+
+/// A syscall outcome normalized for cross-scheduler comparison: file ids
+/// and cache-hit flags depend on scheduling order, results do not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Obs {
+    /// A read returned this many bytes.
+    Read(u64),
+    /// A write buffered this many bytes.
+    Written(u64),
+    /// An fsync became durable.
+    Synced,
+    /// A creat finished.
+    Created,
+    /// A mkdir/unlink finished.
+    Meta,
+    /// The call failed with this error kind.
+    Failed(IoErrorKind),
+}
+
+/// One simulation's observable result.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Per-process outcome sequences, in spec order.
+    pub per_proc: Vec<Vec<Obs>>,
+    /// Auditor violations (plus harness-level failures like non-quiescence).
+    pub violations: Vec<String>,
+    /// The kernel's I/O error count (fault-injection composition checks).
+    pub io_errors: u64,
+}
+
+/// Replays one process's op list, mapping file references to real ids as
+/// creats complete.
+struct Replayer {
+    ops: Vec<OpSpec>,
+    idx: usize,
+    shared: Rc<Vec<FileId>>,
+    own: Vec<FileId>,
+    obs: Rc<RefCell<Vec<Obs>>>,
+    exited: Rc<Cell<usize>>,
+}
+
+impl Replayer {
+    fn file(&self, r: FileRef) -> FileId {
+        match r {
+            FileRef::Shared(i) => self.shared[i],
+            FileRef::Own(i) => self.own[i],
+        }
+    }
+}
+
+impl ProcessLogic for Replayer {
+    fn next(&mut self, _now: sim_core::SimTime, last: &Outcome) -> ProcAction {
+        match last {
+            Outcome::None => {}
+            Outcome::Read { bytes, .. } => self.obs.borrow_mut().push(Obs::Read(*bytes)),
+            Outcome::Written { bytes } => self.obs.borrow_mut().push(Obs::Written(*bytes)),
+            Outcome::Synced => self.obs.borrow_mut().push(Obs::Synced),
+            Outcome::Created(f) => {
+                self.own.push(*f);
+                self.obs.borrow_mut().push(Obs::Created);
+            }
+            Outcome::MetaDone => self.obs.borrow_mut().push(Obs::Meta),
+            Outcome::Failed(e) => self.obs.borrow_mut().push(Obs::Failed(e.kind)),
+        }
+        let Some(op) = self.ops.get(self.idx).cloned() else {
+            self.exited.set(self.exited.get() + 1);
+            return ProcAction::Exit;
+        };
+        self.idx += 1;
+        match op {
+            OpSpec::Read { file, offset, len } => ProcAction::Syscall(SyscallKind::Read {
+                file: self.file(file),
+                offset,
+                len,
+            }),
+            OpSpec::Write { file, offset, len } => ProcAction::Syscall(SyscallKind::Write {
+                file: self.file(file),
+                offset,
+                len,
+            }),
+            OpSpec::Fsync { file } => ProcAction::Syscall(SyscallKind::Fsync {
+                file: self.file(file),
+            }),
+            OpSpec::Creat => ProcAction::Syscall(SyscallKind::Create),
+            OpSpec::Unlink { own } => ProcAction::Syscall(SyscallKind::Unlink {
+                file: self.own[own],
+            }),
+            OpSpec::Mkdir => ProcAction::Syscall(SyscallKind::Mkdir),
+            OpSpec::Sleep { micros } => ProcAction::Sleep(SimDuration::from_micros(micros)),
+            OpSpec::Compute { micros } => ProcAction::Compute(SimDuration::from_micros(micros)),
+        }
+    }
+}
+
+/// Drain cap: a generated program lasts a few simulated seconds; a run
+/// that has not quiesced after this much simulated time is itself a bug.
+const QUIESCE_CAP_SECS: u64 = 600;
+
+/// Replay `spec` under one scheduler/device pair with auditors installed.
+/// `sabotage` wraps the scheduler with the cause-corrupting shim after
+/// that many block adds (mutation testing).
+pub fn run_one(
+    spec: &ProgramSpec,
+    sched: SchedChoice,
+    device: DeviceChoice,
+    sabotage: Option<u64>,
+) -> RunOutcome {
+    run_inner(spec, sched, device, sabotage, None)
+}
+
+/// [`run_one`] with a device fault plan installed — composes the fuzzer
+/// with fault injection to check that faults surface as errors (in
+/// outcomes and `io_errors`) rather than tripping auditors or vanishing.
+pub fn run_one_faulted(
+    spec: &ProgramSpec,
+    sched: SchedChoice,
+    device: DeviceChoice,
+    faults: DeviceFaultPlane,
+) -> RunOutcome {
+    run_inner(spec, sched, device, None, Some(faults))
+}
+
+fn run_inner(
+    spec: &ProgramSpec,
+    sched: SchedChoice,
+    device: DeviceChoice,
+    sabotage: Option<u64>,
+    faults: Option<DeviceFaultPlane>,
+) -> RunOutcome {
+    let mut setup = Setup::new(sched);
+    setup.device = device;
+    let mut cfg = kernel_config(setup);
+    cfg.audit = Some(AuditPlane::standard());
+    let sched_box: Box<dyn IoSched> = match sabotage {
+        Some(after) => Box::new(Sabotaged::new(sched.build(), after)),
+        None => sched.build(),
+    };
+    let mut w = World::new();
+    let k = w.add_kernel(cfg, device.build(), sched_box);
+    if let Some(plane) = faults {
+        w.kernel_mut(k).install_fault_plane(plane);
+    }
+
+    let shared = Rc::new(
+        (0..spec.shared_files)
+            .map(|_| w.prealloc_file(k, spec.shared_bytes, true))
+            .collect::<Vec<FileId>>(),
+    );
+    let exited = Rc::new(Cell::new(0usize));
+    let sinks: Vec<Rc<RefCell<Vec<Obs>>>> = spec
+        .procs
+        .iter()
+        .map(|p| {
+            let obs = Rc::new(RefCell::new(Vec::new()));
+            w.spawn(
+                k,
+                Box::new(Replayer {
+                    ops: p.ops.clone(),
+                    idx: 0,
+                    shared: Rc::clone(&shared),
+                    own: Vec::new(),
+                    obs: Rc::clone(&obs),
+                    exited: Rc::clone(&exited),
+                }),
+            );
+            obs
+        })
+        .collect();
+
+    // Drain: run until every process exited and the block layer idles,
+    // then one grace window so the periodic journal commit flushes the
+    // final transaction (dirty pages below the writeback threshold
+    // legitimately remain).
+    let mut elapsed = 0u64;
+    let mut quiesced = false;
+    while elapsed < QUIESCE_CAP_SECS {
+        w.run_for(SimDuration::from_secs(1));
+        elapsed += 1;
+        if exited.get() == spec.procs.len() && w.kernel(k).block_idle() {
+            w.run_for(SimDuration::from_secs(10));
+            elapsed += 10;
+            if w.kernel(k).block_idle() {
+                quiesced = true;
+                break;
+            }
+        }
+    }
+    if quiesced {
+        w.audit_quiesce(k);
+    }
+
+    let mut violations: Vec<String> = w
+        .kernel(k)
+        .audit_plane()
+        .map(|p| p.violations().iter().map(|v| v.to_string()).collect())
+        .unwrap_or_default();
+    if !quiesced {
+        violations.push(format!(
+            "program failed to quiesce within {QUIESCE_CAP_SECS} simulated seconds"
+        ));
+    }
+    RunOutcome {
+        per_proc: sinks.into_iter().map(|s| s.take()).collect(),
+        violations,
+        io_errors: w.kernel(k).stats.io_errors,
+    }
+}
+
+/// Run the full scheduler × device matrix on one program. Returns one
+/// message per problem found (empty means the program checks clean).
+pub fn check_program(spec: &ProgramSpec) -> Vec<String> {
+    let mut problems = Vec::new();
+    for &device in &ALL_DEVICES {
+        let reference = run_one(spec, ALL_SCHEDS[0], device, None);
+        for v in &reference.violations {
+            problems.push(format!("noop/{}: {v}", device_name(device)));
+        }
+        for &sched in &ALL_SCHEDS[1..] {
+            let r = run_one(spec, sched, device, None);
+            let label = format!("{}/{}", sched.name(), device_name(device));
+            for v in &r.violations {
+                problems.push(format!("{label}: {v}"));
+            }
+            if r.per_proc != reference.per_proc {
+                for (pi, (got, want)) in r.per_proc.iter().zip(&reference.per_proc).enumerate() {
+                    if got != want {
+                        problems.push(format!(
+                            "{label}: proc {pi} outcomes diverge from noop reference \
+                             (got {got:?}, want {want:?})"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    problems
+}
+
+/// `runner check` parameters.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// Programs to generate and check.
+    pub programs: usize,
+    /// Worker threads.
+    pub jobs: usize,
+    /// Root seed; `(root_seed, index)` names each program.
+    pub root_seed: u64,
+    /// Minimize failing programs before reporting.
+    pub shrink: bool,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            programs: 50,
+            jobs: 1,
+            root_seed: 0,
+            shrink: false,
+        }
+    }
+}
+
+/// One failing program, ready to print.
+#[derive(Debug)]
+pub struct CheckFailure {
+    /// Generation index under the root seed (u64::MAX for `--replay`).
+    pub index: u64,
+    /// Everything that went wrong.
+    pub problems: Vec<String>,
+    /// The failing program's replayable spec.
+    pub program: String,
+    /// The minimized spec, when shrinking ran and made progress.
+    pub shrunk: Option<String>,
+}
+
+/// What a check run found.
+#[derive(Debug)]
+pub struct CheckReport {
+    /// Programs checked.
+    pub programs: usize,
+    /// Failures, in generation order.
+    pub failures: Vec<CheckFailure>,
+}
+
+impl CheckReport {
+    /// Human-readable report (what `runner check` prints).
+    pub fn render(&self, root_seed: u64) -> String {
+        let mut out = String::new();
+        if self.failures.is_empty() {
+            out.push_str(&format!(
+                "check: {} program(s) clean across {} scheduler(s) x {} device(s)\n",
+                self.programs,
+                ALL_SCHEDS.len(),
+                ALL_DEVICES.len()
+            ));
+            return out;
+        }
+        for f in &self.failures {
+            out.push_str(&format!(
+                "FAIL program {} (seed {root_seed}, stream {}):\n",
+                f.index, f.index
+            ));
+            for p in &f.problems {
+                out.push_str(&format!("  {p}\n"));
+            }
+            match &f.shrunk {
+                Some(s) => out.push_str(&format!("  minimized reproducer:\n{s}\n")),
+                None => out.push_str(&format!("  program:\n{}\n", f.program)),
+            }
+        }
+        out.push_str(&format!(
+            "check: {} of {} program(s) FAILED\n",
+            self.failures.len(),
+            self.programs
+        ));
+        out
+    }
+}
+
+fn fail_from(
+    spec: &ProgramSpec,
+    index: u64,
+    problems: Vec<String>,
+    minimize: bool,
+) -> CheckFailure {
+    let shrunk = if minimize {
+        let small = shrink(spec, |p| !check_program(p).is_empty());
+        (small.syscall_count() < spec.syscall_count()).then(|| small.to_string())
+    } else {
+        None
+    };
+    CheckFailure {
+        index,
+        problems,
+        program: spec.to_string(),
+        shrunk,
+    }
+}
+
+/// Generate and check `cfg.programs` programs in parallel.
+pub fn run_check(cfg: &CheckConfig) -> CheckReport {
+    let indices: Vec<u64> = (0..cfg.programs as u64).collect();
+    let results = run_indexed(indices, cfg.jobs, |&idx| {
+        let spec = generate(
+            &mut SimRng::stream(cfg.root_seed, idx),
+            &GenConfig::default(),
+        );
+        let problems = check_program(&spec);
+        (idx, spec, problems)
+    });
+    // Shrinking replays the whole matrix per candidate, so it stays on
+    // the (rare) failure path and out of the parallel section.
+    let failures = results
+        .into_iter()
+        .filter(|(_, _, problems)| !problems.is_empty())
+        .map(|(idx, spec, problems)| fail_from(&spec, idx, problems, cfg.shrink))
+        .collect();
+    CheckReport {
+        programs: cfg.programs,
+        failures,
+    }
+}
+
+/// Check one program parsed from a replay file (see [`ProgramSpec::parse`]).
+pub fn run_replay(text: &str, shrink_it: bool) -> Result<CheckReport, String> {
+    let spec = ProgramSpec::parse(text)?;
+    let problems = check_program(&spec);
+    let failures = if problems.is_empty() {
+        Vec::new()
+    } else {
+        vec![fail_from(&spec, u64::MAX, problems, shrink_it)]
+    };
+    Ok(CheckReport {
+        programs: 1,
+        failures,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_trivial_program_runs_clean_on_the_reference() {
+        let spec = ProgramSpec::parse(
+            "program shared=1 bytes=65536\n\
+             proc\n\
+             write s0 0 8192\n\
+             fsync s0\n\
+             end\n",
+        )
+        .unwrap();
+        let r = run_one(&spec, SchedChoice::Noop, DeviceChoice::Ssd, None);
+        assert_eq!(r.violations, Vec::<String>::new());
+        assert_eq!(
+            r.per_proc,
+            vec![vec![Obs::Written(8192), Obs::Synced]],
+            "outcome sequence"
+        );
+        assert_eq!(r.io_errors, 0);
+    }
+
+    #[test]
+    fn outcomes_match_across_schedulers_for_a_small_program() {
+        let spec = ProgramSpec::parse(
+            "program shared=2 bytes=65536\n\
+             proc\n\
+             write s0 0 16384\n\
+             creat\n\
+             write o0 0 4096\n\
+             fsync o0\n\
+             read s1 0 8192\n\
+             unlink o0\n\
+             end\n\
+             proc\n\
+             write s1 4096 100\n\
+             fsync s1\n\
+             end\n",
+        )
+        .unwrap();
+        let problems = check_program(&spec);
+        assert_eq!(problems, Vec::<String>::new());
+    }
+}

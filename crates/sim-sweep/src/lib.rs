@@ -11,11 +11,15 @@
 //! change the numbers of the figures already in it.
 
 pub mod aggregate;
+pub mod check;
 pub mod drive;
 pub mod executor;
 pub mod spec;
 
 pub use aggregate::{aggregate, MetricRow, SweepReport};
+pub use check::{
+    check_program, run_check, run_one, run_one_faulted, run_replay, CheckConfig, CheckReport,
+};
 pub use drive::{run_figures, run_figures_with, run_sweep};
 pub use executor::run_indexed;
 pub use spec::{cell_seed, Cell, SweepSpec};

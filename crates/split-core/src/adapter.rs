@@ -59,6 +59,10 @@ impl<E: Elevator> IoSched for BlockOnly<E> {
     fn queued(&self) -> usize {
         self.inner.queued()
     }
+
+    fn audit(&self, quiesced: bool) -> Vec<String> {
+        self.inner.audit(quiesced)
+    }
 }
 
 #[cfg(test)]

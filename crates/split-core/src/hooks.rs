@@ -315,6 +315,77 @@ pub trait IoSched {
 
     /// Requests currently held at the block level.
     fn queued(&self) -> usize;
+
+    /// Self-audit the scheduler's internal ledgers, returning one message
+    /// per violated invariant. `quiesced` is true when the caller knows no
+    /// request is queued or in flight — accounting schedulers then check
+    /// that every dispatch-time charge has been settled by a completion or
+    /// refund. The default implementation reports nothing.
+    fn audit(&self, quiesced: bool) -> Vec<String> {
+        let _ = quiesced;
+        Vec::new()
+    }
+}
+
+/// Boxed schedulers forward every hook, so wrappers generic over
+/// `S: IoSched` (the check harness's sabotage shim, for one) compose with
+/// the `Box<dyn IoSched>` the experiment builders hand out.
+impl IoSched for Box<dyn IoSched> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn configure(&mut self, pid: Pid, attr: SchedAttr) {
+        (**self).configure(pid, attr)
+    }
+
+    fn syscall_enter(&mut self, sc: &SyscallInfo, ctx: &mut SchedCtx<'_>) -> Gate {
+        (**self).syscall_enter(sc, ctx)
+    }
+
+    fn syscall_exit(&mut self, sc: &SyscallInfo, ctx: &mut SchedCtx<'_>) {
+        (**self).syscall_exit(sc, ctx)
+    }
+
+    fn buffer_dirtied(&mut self, ev: &BufferDirtied, ctx: &mut SchedCtx<'_>) {
+        (**self).buffer_dirtied(ev, ctx)
+    }
+
+    fn buffer_freed(&mut self, ev: &BufferFreed, ctx: &mut SchedCtx<'_>) {
+        (**self).buffer_freed(ev, ctx)
+    }
+
+    fn block_add(&mut self, req: Request, ctx: &mut SchedCtx<'_>) {
+        (**self).block_add(req, ctx)
+    }
+
+    fn block_dispatch(&mut self, ctx: &mut SchedCtx<'_>) -> Dispatch {
+        (**self).block_dispatch(ctx)
+    }
+
+    fn block_completed(&mut self, req: &Request, ctx: &mut SchedCtx<'_>) {
+        (**self).block_completed(req, ctx)
+    }
+
+    fn block_failed(&mut self, req: &Request, error: IoError, ctx: &mut SchedCtx<'_>) {
+        (**self).block_failed(req, error, ctx)
+    }
+
+    fn timer_fired(&mut self, ctx: &mut SchedCtx<'_>) {
+        (**self).timer_fired(ctx)
+    }
+
+    fn pick_dirty_waiter(&mut self, waiters: &[Pid]) -> usize {
+        (**self).pick_dirty_waiter(waiters)
+    }
+
+    fn queued(&self) -> usize {
+        (**self).queued()
+    }
+
+    fn audit(&self, quiesced: bool) -> Vec<String> {
+        (**self).audit(quiesced)
+    }
 }
 
 #[cfg(test)]

@@ -152,6 +152,17 @@ impl IoSched for ScsToken {
     fn queued(&self) -> usize {
         self.fifo.len()
     }
+
+    fn audit(&self, quiesced: bool) -> Vec<String> {
+        let mut bad = self.buckets.audit();
+        if quiesced && !self.fifo.is_empty() {
+            bad.push(format!(
+                "scs-token: {} request(s) queued at quiescence",
+                self.fifo.len()
+            ));
+        }
+        bad
+    }
 }
 
 #[cfg(test)]

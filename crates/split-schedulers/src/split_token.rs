@@ -418,6 +418,50 @@ impl IoSched for SplitToken {
     fn queued(&self) -> usize {
         self.writes.len() + self.reads.values().map(|q| q.0.len()).sum::<usize>()
     }
+
+    fn audit(&self, quiesced: bool) -> Vec<String> {
+        let mut bad = self.buckets.audit();
+        let mut files: Vec<&FileId> = self.prelim.keys().collect();
+        files.sort();
+        for f in files {
+            let p = &self.prelim[f];
+            if !p.norm_bytes.is_finite() || p.norm_bytes < 0.0 {
+                bad.push(format!(
+                    "split-token: prelim account {f:?} holds {} normalized bytes",
+                    p.norm_bytes
+                ));
+            }
+            // An account with no pages left cannot carry a material charge:
+            // its entire balance was priced per page.
+            if p.pages == 0 && p.norm_bytes > 1e-6 {
+                bad.push(format!(
+                    "split-token: prelim account {f:?} has 0 pages but {} normalized bytes",
+                    p.norm_bytes
+                ));
+            }
+        }
+        let mut ids: Vec<&RequestId> = self.charged.keys().collect();
+        ids.sort();
+        for id in ids {
+            let net = self.charged[id];
+            if !net.is_finite() {
+                bad.push(format!("split-token: request {id:?} carries charge {net}"));
+            }
+        }
+        // At quiescence every dispatch-time charge must have been settled
+        // by block_completed or refunded by block_failed — a leftover entry
+        // means charges minus refunds no longer equals dispatched cost.
+        if quiesced && !self.charged.is_empty() {
+            bad.push(format!(
+                "split-token: {} unsettled dispatch charge(s) at quiescence",
+                self.charged.len()
+            ));
+        }
+        // `account_errors` are deliberately NOT violations: an empty-account
+        // reversal is answered with a zero refund and recorded — the ledger
+        // stays consistent, which is exactly what the checks above verify.
+        bad
+    }
 }
 
 #[cfg(test)]

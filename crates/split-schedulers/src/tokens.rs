@@ -159,6 +159,29 @@ impl TokenBuckets {
         }
     }
 
+    /// Check every bucket's raw ledger fields for corruption: balances,
+    /// rates and caps must all be finite, and rate/cap non-negative.
+    /// Reads the fields as-is (no refill), so `&self` suffices and the
+    /// check itself cannot perturb the accounting it inspects.
+    pub fn audit(&self) -> Vec<String> {
+        let mut bad = Vec::new();
+        let mut ids: Vec<BucketId> = self.buckets.keys().copied().collect();
+        ids.sort();
+        for id in ids {
+            let b = &self.buckets[&id];
+            if !b.tokens.is_finite() {
+                bad.push(format!("tokens: bucket {id:?} balance is {}", b.tokens));
+            }
+            if !b.rate.is_finite() || b.rate < 0.0 {
+                bad.push(format!("tokens: bucket {id:?} rate is {}", b.rate));
+            }
+            if !b.cap.is_finite() || b.cap < 0.0 {
+                bad.push(format!("tokens: bucket {id:?} cap is {}", b.cap));
+            }
+        }
+        bad
+    }
+
     /// When `pid`'s bucket will next be non-negative (`None` if already,
     /// or if unthrottled, or if the rate is zero — then never).
     pub fn ready_at(&mut self, pid: Pid, now: SimTime) -> Option<SimTime> {
