@@ -42,6 +42,35 @@ fn bench(name: &str, filter: Option<&str>, mut f: impl FnMut()) {
     println!("{name:<40} min {min:8.3}s  mean {mean:8.3}s  max {max:8.3}s");
 }
 
+/// Dispatch-plane throughput: run the quick CFQ write burst on the given
+/// device plane and report simulator events per wall-clock second, so the
+/// cost of the blk-mq dispatch layer relative to the serial fast path is
+/// tracked alongside Figure 9's hook-overhead question.
+fn bench_device_plane(name: &str, filter: Option<&str>, queue_depth: Option<u32>) {
+    if let Some(pat) = filter {
+        if !name.contains(pat) {
+            return;
+        }
+    }
+    exp::fig01_qd::bench_events(queue_depth); // warmup
+    let mut rates = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        let events = exp::fig01_qd::bench_events(queue_depth);
+        let dt = t0.elapsed().as_secs_f64();
+        rates.push(events as f64 / dt);
+    }
+    let min = rates.iter().cloned().fold(f64::MAX, f64::min);
+    let max = rates.iter().cloned().fold(f64::MIN, f64::max);
+    let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+    println!(
+        "{name:<40} min {:8.2} Mev/s  mean {:8.2} Mev/s  max {:8.2} Mev/s",
+        min / 1e6,
+        mean / 1e6,
+        max / 1e6
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     // `cargo bench -- <pattern>` passes the pattern through; ignore the
@@ -103,6 +132,11 @@ fn main() {
         };
         exp::fig09_time_overhead::run(&cfg);
     });
+
+    bench_device_plane("fig01_qd_dispatch/serial", filter, None);
+    bench_device_plane("fig01_qd_dispatch/depth1", filter, Some(1));
+    bench_device_plane("fig01_qd_dispatch/depth8", filter, Some(8));
+    bench_device_plane("fig01_qd_dispatch/depth32", filter, Some(32));
 
     bench("fig10_space_overhead", filter, || {
         let cfg = exp::fig10_space_overhead::Config {

@@ -16,6 +16,7 @@
 
 pub mod cfq;
 pub mod deadline;
+pub mod mq;
 pub mod noop;
 pub mod sorted;
 
@@ -24,6 +25,7 @@ use sim_device::{DiskModel, DiskRequestShape, IoDir};
 
 pub use cfq::{Cfq, CfqConfig};
 pub use deadline::{BlockDeadline, DeadlineConfig};
+pub use mq::{MqDispatch, QueueOccupancy};
 pub use noop::Noop;
 
 /// Linux-style I/O priority class.
@@ -142,9 +144,10 @@ impl Request {
         DiskRequestShape::new(self.dir, self.start, self.nblocks)
     }
 
-    /// Transfer size in bytes.
+    /// Transfer size in bytes (saturating, like
+    /// [`DiskRequestShape::bytes`]).
     pub fn bytes(&self) -> u64 {
-        self.nblocks * sim_core::PAGE_SIZE
+        self.nblocks.saturating_mul(sim_core::PAGE_SIZE)
     }
 
     /// Whether this is a read.

@@ -75,6 +75,28 @@ pub enum AuditEvent<'a> {
         /// Whether it failed (fault injection) rather than completed.
         failed: bool,
     },
+    /// The device accepted a request into a hardware-queue slot. The
+    /// legacy serial device reports its single slot as slot 0 with
+    /// depth 1, so the in-flight ledger is audited on every plane.
+    SlotAcquired {
+        /// The accepted request.
+        req: &'a Request,
+        /// The hardware tag it occupies.
+        slot: u32,
+        /// Requests inside the device after this acceptance.
+        in_flight: u32,
+        /// Configured hardware queue depth.
+        depth: u32,
+    },
+    /// A request left its hardware-queue slot (completed or failed).
+    SlotReleased {
+        /// The departing request.
+        req: &'a Request,
+        /// The tag it held.
+        slot: u32,
+        /// Requests inside the device after this release.
+        in_flight: u32,
+    },
     /// The file system declared a journal transaction durable.
     TxnCommitted {
         /// The committed transaction.
@@ -168,6 +190,7 @@ impl AuditPlane {
             Box::new(auditors::JournalOrderAuditor::new()),
             Box::new(auditors::SchedLedgerAuditor::new()),
             Box::new(auditors::EventQueueAuditor::new()),
+            Box::new(auditors::InflightAuditor::new()),
         ])
     }
 

@@ -314,6 +314,125 @@ impl Auditor for EventQueueAuditor {
     }
 }
 
+/// In-flight slot accounting for the device queue (serial or queued
+/// plane): every slot acquired is released exactly once, no request
+/// holds two slots, no slot holds two requests, occupancy never
+/// exceeds the advertised queue depth, and the device's own in-flight
+/// counter always agrees with the ledger rebuilt from the event
+/// stream. At a quiesced checkpoint the ledger must be empty — a leaked
+/// slot means a completion event was lost (or delivered twice and
+/// swallowed).
+pub struct InflightAuditor {
+    /// Slot held by each in-flight request.
+    slot_of: HashMap<RequestId, u32>,
+    /// Request holding each occupied slot.
+    holder_of: HashMap<u32, RequestId>,
+}
+
+impl InflightAuditor {
+    /// A fresh auditor.
+    pub fn new() -> Self {
+        InflightAuditor {
+            slot_of: HashMap::new(),
+            holder_of: HashMap::new(),
+        }
+    }
+}
+
+impl Default for InflightAuditor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Auditor for InflightAuditor {
+    fn name(&self) -> &'static str {
+        "inflight"
+    }
+
+    fn on_event(&mut self, _now: SimTime, ev: &AuditEvent<'_>, out: &mut Vec<String>) {
+        match ev {
+            AuditEvent::SlotAcquired {
+                req,
+                slot,
+                in_flight,
+                depth,
+            } => {
+                if *slot >= *depth {
+                    out.push(format!(
+                        "request {:?} got slot {slot}, outside depth {depth}",
+                        req.id
+                    ));
+                }
+                if let Some(prev) = self.slot_of.insert(req.id, *slot) {
+                    out.push(format!(
+                        "request {:?} acquired slot {slot} while still holding slot {prev}",
+                        req.id
+                    ));
+                }
+                if let Some(holder) = self.holder_of.insert(*slot, req.id) {
+                    if holder != req.id {
+                        out.push(format!(
+                            "slot {slot} given to request {:?} while held by {holder:?}",
+                            req.id
+                        ));
+                    }
+                }
+                if self.slot_of.len() > *depth as usize {
+                    out.push(format!(
+                        "{} request(s) in flight exceeds queue depth {depth}",
+                        self.slot_of.len()
+                    ));
+                }
+                if *in_flight as usize != self.slot_of.len() {
+                    out.push(format!(
+                        "device reports {in_flight} in flight, slot ledger holds {}",
+                        self.slot_of.len()
+                    ));
+                }
+            }
+            AuditEvent::SlotReleased {
+                req,
+                slot,
+                in_flight,
+            } => {
+                match self.slot_of.remove(&req.id) {
+                    None => out.push(format!(
+                        "request {:?} released slot {slot} it never acquired \
+                         (double completion?)",
+                        req.id
+                    )),
+                    Some(held) if held != *slot => out.push(format!(
+                        "request {:?} released slot {slot} but held slot {held}",
+                        req.id
+                    )),
+                    Some(_) => {
+                        self.holder_of.remove(slot);
+                    }
+                }
+                if *in_flight as usize != self.slot_of.len() {
+                    out.push(format!(
+                        "device reports {in_flight} in flight, slot ledger holds {}",
+                        self.slot_of.len()
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_checkpoint(&mut self, cp: &AuditCheckpoint<'_>, out: &mut Vec<String>) {
+        if cp.quiesced && !self.slot_of.is_empty() {
+            let mut leaked: Vec<RequestId> = self.slot_of.keys().copied().collect();
+            leaked.sort_by_key(|r| r.raw());
+            out.push(format!(
+                "{} slot(s) still held at quiescence: {leaked:?}",
+                leaked.len()
+            ));
+        }
+    }
+}
+
 /// The kernel proxy tasks [`CauseTagAuditor`] pre-registers.
 pub const PROXY_PIDS: [Pid; 2] = [JOURNAL_PID, WRITEBACK_PID];
 
@@ -435,6 +554,110 @@ mod tests {
             &mut out,
         );
         assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn inflight_double_completion_mutant_is_caught() {
+        // The sabotaged-device scenario: a completion event delivered
+        // twice for the same request. The first release balances the
+        // books; the second must be flagged.
+        let mut a = InflightAuditor::new();
+        let mut out = Vec::new();
+        let r = req(1, CauseSet::empty());
+        a.on_event(
+            SimTime::ZERO,
+            &AuditEvent::SlotAcquired {
+                req: &r,
+                slot: 0,
+                in_flight: 1,
+                depth: 8,
+            },
+            &mut out,
+        );
+        a.on_event(
+            SimTime::ZERO,
+            &AuditEvent::SlotReleased {
+                req: &r,
+                slot: 0,
+                in_flight: 0,
+            },
+            &mut out,
+        );
+        assert!(out.is_empty(), "balanced acquire/release is clean: {out:?}");
+        a.on_event(
+            SimTime::ZERO,
+            &AuditEvent::SlotReleased {
+                req: &r,
+                slot: 0,
+                in_flight: 0,
+            },
+            &mut out,
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].contains("double completion"), "{out:?}");
+    }
+
+    #[test]
+    fn inflight_over_depth_and_slot_collision_are_flagged() {
+        let mut a = InflightAuditor::new();
+        let mut out = Vec::new();
+        let r1 = req(1, CauseSet::empty());
+        let r2 = req(2, CauseSet::empty());
+        a.on_event(
+            SimTime::ZERO,
+            &AuditEvent::SlotAcquired {
+                req: &r1,
+                slot: 0,
+                in_flight: 1,
+                depth: 1,
+            },
+            &mut out,
+        );
+        assert!(out.is_empty(), "{out:?}");
+        // Second acquisition of the same slot past depth 1.
+        a.on_event(
+            SimTime::ZERO,
+            &AuditEvent::SlotAcquired {
+                req: &r2,
+                slot: 0,
+                in_flight: 2,
+                depth: 1,
+            },
+            &mut out,
+        );
+        assert!(
+            out.iter().any(|m| m.contains("exceeds queue depth")),
+            "{out:?}"
+        );
+        assert!(out.iter().any(|m| m.contains("while held by")), "{out:?}");
+    }
+
+    #[test]
+    fn inflight_leak_surfaces_at_quiescence() {
+        let mut a = InflightAuditor::new();
+        let mut out = Vec::new();
+        let r = req(7, CauseSet::empty());
+        a.on_event(
+            SimTime::ZERO,
+            &AuditEvent::SlotAcquired {
+                req: &r,
+                slot: 3,
+                in_flight: 1,
+                depth: 8,
+            },
+            &mut out,
+        );
+        let cp = AuditCheckpoint {
+            now: SimTime::ZERO,
+            cache_dirty_total: 0,
+            cache_dirty_sum: 0,
+            sched_errors: &[],
+            late_events: 0,
+            quiesced: true,
+        };
+        a.on_checkpoint(&cp, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].contains("still held at quiescence"), "{out:?}");
     }
 
     #[test]

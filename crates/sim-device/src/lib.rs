@@ -12,11 +12,13 @@
 //! flash), not nanosecond fidelity.
 
 pub mod hdd;
+pub mod queued;
 pub mod ssd;
 
 use sim_core::{BlockNo, SimDuration};
 
 pub use hdd::HddModel;
+pub use queued::{QueuedDevice, QueuedDeviceConfig, Started};
 pub use ssd::SsdModel;
 
 /// Direction of a device-level transfer.
@@ -49,14 +51,17 @@ impl DiskRequestShape {
         }
     }
 
-    /// Transfer size in bytes.
+    /// Transfer size in bytes. Saturates instead of wrapping: a deep
+    /// hardware queue full of absurdly sized requests must degrade to a
+    /// pinned counter, not a panic (or a silent wrap in release).
     pub fn bytes(&self) -> u64 {
-        self.nblocks * sim_core::PAGE_SIZE
+        self.nblocks.saturating_mul(sim_core::PAGE_SIZE)
     }
 
-    /// One past the last block touched.
+    /// One past the last block touched; saturates at the top of the
+    /// address space rather than wrapping back to low blocks.
     pub fn end(&self) -> BlockNo {
-        BlockNo(self.start.raw() + self.nblocks)
+        BlockNo(self.start.raw().saturating_add(self.nblocks))
     }
 }
 
@@ -103,10 +108,11 @@ pub struct DeviceStats {
 }
 
 impl DeviceStats {
-    /// Record one serviced request.
+    /// Record one serviced request. Counters saturate so a long run
+    /// with huge requests cannot wrap them.
     pub fn record(&mut self, shape: &DiskRequestShape, took: SimDuration) {
-        self.requests += 1;
-        self.bytes += shape.bytes();
+        self.requests = self.requests.saturating_add(1);
+        self.bytes = self.bytes.saturating_add(shape.bytes());
         self.busy += took;
     }
 }
@@ -122,6 +128,31 @@ mod tests {
         assert_eq!(s.end(), BlockNo(14));
         let z = DiskRequestShape::new(IoDir::Write, BlockNo(0), 0);
         assert_eq!(z.nblocks, 1);
+    }
+
+    #[test]
+    fn byte_and_end_arithmetic_saturates_at_the_boundaries() {
+        // nblocks * PAGE_SIZE would wrap for anything above u64::MAX/4096.
+        let huge = DiskRequestShape::new(IoDir::Write, BlockNo(0), u64::MAX / 2);
+        assert_eq!(
+            huge.bytes(),
+            u64::MAX,
+            "byte count pins instead of wrapping"
+        );
+        // A request ending past the top of the block address space.
+        let high = DiskRequestShape::new(IoDir::Read, BlockNo(u64::MAX - 4), 64);
+        assert_eq!(high.end(), BlockNo(u64::MAX), "end offset pins at the top");
+        assert_eq!(high.bytes(), 64 * sim_core::PAGE_SIZE, "normal sizes exact");
+    }
+
+    #[test]
+    fn stats_saturate_instead_of_wrapping() {
+        let mut st = DeviceStats::default();
+        let huge = DiskRequestShape::new(IoDir::Write, BlockNo(0), u64::MAX / 2);
+        st.record(&huge, SimDuration::from_millis(1));
+        st.record(&huge, SimDuration::from_millis(1));
+        assert_eq!(st.bytes, u64::MAX);
+        assert_eq!(st.requests, 2);
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Figure 1 (queue-depth sweep) — the write burst against a queued
+//! device.
+//!
+//! The paper's Figure 1 was measured on a real disk whose NCQ queue the
+//! burst could fill: once B's writeback requests occupy the device's
+//! slots, A's read loses the firmware's shortest-positioning-time race
+//! to a nearest-neighbour tour of scattered writes, and throughput
+//! collapses rather than merely halving. This sweep replays the same
+//! workload at hardware queue depths 1→32 on the queued-device plane:
+//! CFQ-with-idle-B degrades monotonically deeper as the queue gives the
+//! burst more slots to pollute, while Split-Token — which charges the
+//! burst at dirty time and holds B — keeps A flat at every depth.
+//!
+//! Depth 1 reproduces the legacy serial-device numbers exactly, tying
+//! this figure back to the original `fig01` table.
+
+use crate::fig01_write_burst::{self, Series};
+use crate::setup::SchedChoice;
+use crate::table::{f1, Table};
+
+/// Queue depths the sweep visits.
+pub const DEPTHS: [u32; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Configuration: the underlying write-burst scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// The fig01 workload parameters shared by every depth.
+    pub burst: fig01_write_burst::Config,
+}
+
+impl Config {
+    /// Small run for tests.
+    pub fn quick() -> Self {
+        Config {
+            burst: fig01_write_burst::Config::quick(),
+        }
+    }
+
+    /// Longer run matching the paper's recovery window.
+    pub fn paper() -> Self {
+        Config {
+            burst: fig01_write_burst::Config::paper(),
+        }
+    }
+}
+
+/// Both schedulers' outcomes at one queue depth.
+#[derive(Debug, Clone)]
+pub struct DepthRow {
+    /// Hardware queue depth.
+    pub depth: u32,
+    /// CFQ with B in the idle class.
+    pub cfq: Series,
+    /// Split-Token with B throttled to 1 MB/s.
+    pub split: Series,
+}
+
+impl DepthRow {
+    /// CFQ's throughput-loss factor: A's pre-burst rate over its
+    /// after-burst rate (1.0 = unharmed; the paper's collapse is ≫ 4).
+    pub fn cfq_degradation(&self) -> f64 {
+        if self.cfq.after <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.cfq.before / self.cfq.after
+        }
+    }
+}
+
+/// Full sweep result.
+#[derive(Debug, Clone)]
+pub struct FigResult {
+    /// One row per depth, in [`DEPTHS`] order.
+    pub rows: Vec<DepthRow>,
+    /// Config used.
+    pub cfg: Config,
+}
+
+/// Run the sweep.
+pub fn run(cfg: &Config) -> FigResult {
+    let rows = DEPTHS
+        .iter()
+        .map(|&depth| DepthRow {
+            depth,
+            cfq: fig01_write_burst::run_one_with(&cfg.burst, SchedChoice::Cfq, Some(depth)),
+            split: fig01_write_burst::run_one_with(
+                &cfg.burst,
+                SchedChoice::SplitToken,
+                Some(depth),
+            ),
+        })
+        .collect();
+    FigResult { rows, cfg: *cfg }
+}
+
+/// Events processed by one quick CFQ write-burst run — the benchmark
+/// harness divides this by wall-clock time to report events/second for
+/// the serial path (`None`) against queued depths.
+pub fn bench_events(queue_depth: Option<u32>) -> u64 {
+    let cfg = fig01_write_burst::Config::quick();
+    let (mut w, _k, _a) = fig01_write_burst::build_burst_world(&cfg, SchedChoice::Cfq, queue_depth);
+    w.run_for(cfg.duration);
+    w.events_processed()
+}
+
+impl std::fmt::Display for FigResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Figure 1 (queue-depth sweep) — Write Burst vs NCQ depth (burst at t={}s for {}s)",
+            self.cfg.burst.burst_at.as_secs_f64(),
+            self.cfg.burst.burst_len.as_secs_f64()
+        )?;
+        let mut t = Table::new([
+            "depth",
+            "cfq A before",
+            "cfq A after",
+            "cfq loss",
+            "split A before",
+            "split A after",
+        ]);
+        for r in &self.rows {
+            t.row([
+                r.depth.to_string(),
+                format!("{} MB/s", f1(r.cfq.before)),
+                format!("{} MB/s", f1(r.cfq.after)),
+                format!("{}x", f1(r.cfq_degradation())),
+                format!("{} MB/s", f1(r.split.before)),
+                format!("{} MB/s", f1(r.split.after)),
+            ]);
+        }
+        write!(f, "{}", t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfq_collapse_deepens_with_queue_depth_while_split_token_stays_flat() {
+        let r = run(&Config::quick());
+        assert_eq!(r.rows.len(), DEPTHS.len());
+        // Depth 1 reproduces the serial fig01 numbers.
+        let serial = fig01_write_burst::run_one_with(&r.cfg.burst, SchedChoice::Cfq, None);
+        assert_eq!(
+            r.rows[0].cfq.a_mbps, serial.a_mbps,
+            "depth 1 must be byte-identical to the serial device"
+        );
+        // CFQ's degradation deepens monotonically toward the paper's
+        // near-collapse (small wobble tolerated; the trend must hold).
+        let losses: Vec<f64> = r.rows.iter().map(|row| row.cfq_degradation()).collect();
+        for w in losses.windows(2) {
+            assert!(
+                w[1] >= 0.9 * w[0],
+                "deeper queues must not recover CFQ: {losses:?}"
+            );
+        }
+        let shallow = losses[0];
+        let deep = *losses.last().unwrap();
+        assert!(
+            deep > shallow,
+            "depth 32 must hurt more than depth 1: {losses:?}"
+        );
+        assert!(
+            deep >= 4.0,
+            "depth 32 should approach the paper's collapse (≥4x): {losses:?}"
+        );
+        // Split-Token holds A flat within 5% of its pre-burst rate at
+        // every depth.
+        for row in &r.rows {
+            assert!(
+                row.split.after >= 0.95 * row.split.before,
+                "split-token must stay flat at depth {}: {} vs {}",
+                row.depth,
+                row.split.after,
+                row.split.before
+            );
+        }
+    }
+
+    #[test]
+    fn bench_helper_counts_events() {
+        let serial = bench_events(None);
+        let depth1 = bench_events(Some(1));
+        assert_eq!(serial, depth1, "depth 1 replays the serial event stream");
+        assert!(serial > 0);
+    }
+}

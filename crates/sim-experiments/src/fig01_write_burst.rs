@@ -87,7 +87,23 @@ pub struct FigResult {
 }
 
 fn run_one(cfg: &Config, sched: SchedChoice) -> Series {
-    let (mut w, k) = build_world(Setup::new(sched).seed(cfg.seed));
+    run_one_with(cfg, sched, None)
+}
+
+/// Build the write-burst world: A streaming reads, B a one-second burst,
+/// B contained per the scheduler's mechanism. `queue_depth` of `None`
+/// keeps the legacy serial device; `Some(d)` runs the queued plane
+/// (shared with the fig01_qd sweep and the dispatch benchmarks).
+pub(crate) fn build_burst_world(
+    cfg: &Config,
+    sched: SchedChoice,
+    queue_depth: Option<u32>,
+) -> (sim_kernel::World, sim_core::KernelId, sim_core::Pid) {
+    let mut setup = Setup::new(sched).seed(cfg.seed);
+    if let Some(d) = queue_depth {
+        setup = setup.queue_depth(d);
+    }
+    let (mut w, k) = build_world(setup);
     let a_file = w.prealloc_file(k, cfg.a_file, true);
     let b_file = w.prealloc_file(k, cfg.b_file, true);
     let a = w.spawn(k, Box::new(SeqReader::new(a_file, cfg.a_file, MB)));
@@ -108,6 +124,12 @@ fn run_one(cfg: &Config, sched: SchedChoice) -> Series {
         SchedChoice::SplitToken => w.configure(k, b, SchedAttr::TokenRate(MB)),
         _ => {}
     }
+    (w, k, a)
+}
+
+/// [`run_one`] generalized over the device plane.
+pub(crate) fn run_one_with(cfg: &Config, sched: SchedChoice, queue_depth: Option<u32>) -> Series {
+    let (mut w, k, a) = build_burst_world(cfg, sched, queue_depth);
     w.run_for(cfg.duration);
     let a_mbps = w.kernel(k).stats.read_ts[&a].mbps();
     let burst_bucket = (cfg.burst_at.as_nanos() / cfg.bucket.as_nanos()) as usize;

@@ -12,6 +12,7 @@
 pub mod ablations;
 pub mod breakdown;
 pub mod fault_sweep;
+pub mod fig01_qd;
 pub mod fig01_write_burst;
 pub mod fig03_cfq_async_unfair;
 pub mod fig05_latency_dependency;

@@ -19,6 +19,8 @@ use sim_kernel::FsChoice;
 pub enum FigureId {
     /// Figure 1 — write burst under CFQ-idle vs Split-Token.
     Fig01,
+    /// Figure 1 queue-depth sweep — the write burst vs NCQ depth 1→32.
+    Fig01Qd,
     /// Figure 3 — CFQ async-write unfairness.
     Fig03,
     /// Figure 5 — fsync latency dependencies.
@@ -59,8 +61,9 @@ pub enum FigureId {
 
 impl FigureId {
     /// All targets in the order `runner all` prints them.
-    pub const ALL: [FigureId; 19] = [
+    pub const ALL: [FigureId; 20] = [
         FigureId::Fig01,
+        FigureId::Fig01Qd,
         FigureId::Fig03,
         FigureId::Fig05,
         FigureId::Fig06,
@@ -85,6 +88,7 @@ impl FigureId {
     pub fn name(self) -> &'static str {
         match self {
             FigureId::Fig01 => "fig01",
+            FigureId::Fig01Qd => "fig01_qd",
             FigureId::Fig03 => "fig03",
             FigureId::Fig05 => "fig05",
             FigureId::Fig06 => "fig06",
@@ -306,6 +310,29 @@ pub fn run_cell(req: &CellRequest) -> CellOutput {
                     m("split_after_mbps", r.split_token.after),
                 ],
                 artifacts,
+            }
+        }
+        FigureId::Fig01Qd => {
+            let mut cfg = if paper {
+                crate::fig01_qd::Config::paper()
+            } else {
+                crate::fig01_qd::Config::quick()
+            };
+            cfg.burst.seed = req.seed;
+            let r = crate::fig01_qd::run(&cfg);
+            let mut metrics = Vec::new();
+            for row in &r.rows {
+                metrics.push(m(format!("cfq_after_mbps_d{}", row.depth), row.cfq.after));
+                metrics.push(m(format!("cfq_loss_d{}", row.depth), row.cfq_degradation()));
+                metrics.push(m(
+                    format!("split_after_mbps_d{}", row.depth),
+                    row.split.after,
+                ));
+            }
+            CellOutput {
+                summary: format!("{r}\n\n"),
+                metrics,
+                artifacts: Vec::new(),
             }
         }
         FigureId::Fig03 => {

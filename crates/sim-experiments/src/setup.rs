@@ -6,7 +6,7 @@ use sim_cache::CacheConfig;
 use sim_core::KernelId;
 use sim_device::{HddModel, SsdModel};
 pub use sim_kernel::FsChoice;
-use sim_kernel::{DeviceKind, KernelConfig, World};
+use sim_kernel::{DeviceKind, KernelConfig, QueuePlane, World};
 use split_core::{BlockOnly, IoSched};
 use split_schedulers::{Afq, ScsToken, SplitDeadline, SplitNoop, SplitToken};
 
@@ -122,6 +122,10 @@ pub struct Setup {
     /// Experiment seed. Zero (the default) reproduces the historical runs
     /// bit-for-bit; the sweep engine sets it per replicate.
     pub seed: u64,
+    /// Hardware queue depth. `None` (the default) keeps the legacy
+    /// serial device; `Some(d)` turns on the queued plane (NCQ/blk-mq),
+    /// where `Some(1)` is byte-identical to `None`.
+    pub queue_depth: Option<u32>,
 }
 
 impl Setup {
@@ -136,6 +140,7 @@ impl Setup {
             cores: 8,
             dirty_ratio: 0.20,
             seed: 0,
+            queue_depth: None,
         }
     }
 
@@ -174,6 +179,12 @@ impl Setup {
         self.seed = s;
         self
     }
+
+    /// Run on the queued-device plane at hardware queue depth `d`.
+    pub fn queue_depth(mut self, d: u32) -> Self {
+        self.queue_depth = Some(d);
+        self
+    }
 }
 
 /// The kernel configuration a setup implies (shared with the check
@@ -190,6 +201,10 @@ pub fn kernel_config(setup: Setup) -> KernelConfig {
         pdflush: setup.sched.wants_pdflush(),
         gate_reads: setup.sched.gates_reads(),
         fs_seed: setup.seed,
+        queue: match setup.queue_depth {
+            Some(d) => QueuePlane::Queued { depth: d },
+            None => QueuePlane::Serial,
+        },
         ..Default::default()
     }
 }

@@ -32,6 +32,11 @@ fn fig01_output_is_byte_identical_at_seed_0() {
 }
 
 #[test]
+fn fig01_qd_output_is_byte_identical_at_seed_0() {
+    check(FigureId::Fig01Qd, "fig01_qd_seed0.txt");
+}
+
+#[test]
 fn fig12_output_is_byte_identical_at_seed_0() {
     check(FigureId::Fig12, "fig12_seed0.txt");
 }

@@ -4,7 +4,7 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use sim_block::{Dispatch, IoPrio, PrioClass, ReqKind, Request};
+use sim_block::{Dispatch, IoPrio, MqDispatch, PrioClass, QueueOccupancy, ReqKind, Request};
 use sim_cache::{CacheConfig, PageCache};
 use sim_check::{AuditCheckpoint, AuditEvent, AuditPlane};
 use sim_core::stats::TimeSeries;
@@ -12,10 +12,10 @@ use sim_core::{
     CauseSet, FileId, IdAlloc, IoError, IoErrorKind, KernelId, Pid, RequestId, SimDuration,
     SimTime, PAGE_SIZE,
 };
-use sim_device::{DiskModel, HddModel, SsdModel};
+use sim_device::{DiskModel, HddModel, QueuedDevice, QueuedDeviceConfig, SsdModel};
 use sim_fault::{DeviceFaultPlane, Fault, WriteStep};
 use sim_fs::{FileSystem, FsConfig, FsEvent, FsOutput, IoToken, JournaledFs};
-use sim_trace::{Layer, RequestTrace, SpanId, Tracer};
+use sim_trace::{slot_name, Layer, RequestTrace, SpanId, Tracer};
 use split_core::{
     BufferDirtied, BufferFreed, Gate, IoSched, SchedAttr, SchedCmd, SchedCtx, SyscallInfo,
     SyscallKind,
@@ -78,6 +78,91 @@ impl DeviceKind {
     }
 }
 
+/// The device a built kernel actually drives: [`DeviceKind`] resolved
+/// against the configured [`QueuePlane`].
+enum ActiveDevice {
+    /// Legacy single-slot physical device.
+    Serial(Box<dyn DiskModel>),
+    /// Physical device behind the queued plane: blk-mq software queues
+    /// in front of a multi-slot hardware queue.
+    Queued {
+        /// The multi-request device front-end.
+        dev: QueuedDevice,
+        /// Per-process software queues + the live occupancy picture.
+        mq: MqDispatch,
+    },
+    /// Virtual disk backed by a host file; always single-slot here (the
+    /// host's own block layer provides any queueing).
+    Virtual {
+        host: KernelId,
+        host_file: FileId,
+        host_pid: Pid,
+        peek: SsdModel,
+    },
+}
+
+impl ActiveDevice {
+    fn resolve(device: DeviceKind, queue: QueuePlane) -> Self {
+        match device {
+            DeviceKind::Physical(m) => match queue {
+                QueuePlane::Serial => ActiveDevice::Serial(m),
+                QueuePlane::Queued { depth } => {
+                    let depth = depth.max(1);
+                    ActiveDevice::Queued {
+                        dev: QueuedDevice::new(m, QueuedDeviceConfig::with_depth(depth)),
+                        mq: MqDispatch::new(depth),
+                    }
+                }
+            },
+            DeviceKind::Virtual {
+                host,
+                host_file,
+                host_pid,
+                peek,
+            } => ActiveDevice::Virtual {
+                host,
+                host_file,
+                host_pid,
+                peek,
+            },
+        }
+    }
+
+    fn peek(&self) -> &dyn DiskModel {
+        match self {
+            ActiveDevice::Serial(m) => m.as_ref(),
+            ActiveDevice::Queued { dev, .. } => dev.model(),
+            ActiveDevice::Virtual { peek, .. } => peek,
+        }
+    }
+
+    /// The hardware-queue occupancy picture, on the queued plane only.
+    fn occupancy(&self) -> Option<&QueueOccupancy> {
+        match self {
+            ActiveDevice::Queued { mq, .. } => Some(mq.occupancy()),
+            _ => None,
+        }
+    }
+}
+
+/// How the block layer drives a physical device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueuePlane {
+    /// The legacy single-slot path: one request on the device at a time,
+    /// submit → finish. The historical behaviour, byte for byte.
+    Serial,
+    /// The queued-device plane: per-process software queues
+    /// ([`MqDispatch`]) feeding a hardware queue of `depth` slots
+    /// ([`QueuedDevice`] — NCQ reordering on rotational models, channel
+    /// parallelism on flash). `depth = 1` is byte-identical to
+    /// [`QueuePlane::Serial`]. Virtual (host-backed) disks ignore this
+    /// setting: their queueing lives in the host's own block layer.
+    Queued {
+        /// Hardware queue depth (NCQ tags / NVMe slots), at least 1.
+        depth: u32,
+    },
+}
+
 /// Which file system to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FsChoice {
@@ -116,6 +201,9 @@ pub struct KernelConfig {
     /// Cross-layer invariant auditors. `None` (the default) keeps every
     /// hot path free of audit bookkeeping, mirroring the fault plane.
     pub audit: Option<AuditPlane>,
+    /// How the block layer drives a physical device (serial single-slot
+    /// or the queued multi-request plane).
+    pub queue: QueuePlane,
 }
 
 impl Default for KernelConfig {
@@ -131,6 +219,7 @@ impl Default for KernelConfig {
             wb_tick: SimDuration::from_millis(200),
             fs_seed: 0,
             audit: None,
+            queue: QueuePlane::Serial,
         }
     }
 }
@@ -191,6 +280,13 @@ struct ReqMeta {
     /// Set at dispatch when the fault plane failed this request; routed to
     /// `io_failed`/`block_failed` instead of the success paths.
     failed: Option<IoError>,
+    /// Fault-plane service-time multiplier, staged at dispatch for the
+    /// queued plane (the device applies it when the request enters
+    /// service, which may be later).
+    spike: Option<f64>,
+    /// Parent for the per-slot device span on the queued plane, stashed
+    /// at dispatch (the slot span opens at device acceptance).
+    span_parent: SpanId,
 }
 
 /// One simulated machine.
@@ -199,8 +295,12 @@ pub struct Kernel {
     pub id: KernelId,
     cfg: KernelConfig,
     sched: Box<dyn IoSched>,
-    device: DeviceKind,
+    device: ActiveDevice,
     inflight: Option<(Request, SimDuration)>,
+    /// In-flight requests on the queued plane, keyed by id (the device
+    /// tracks ordering; this map only parks the request bodies and their
+    /// committed service times until completion).
+    q_inflight: HashMap<RequestId, (Request, SimDuration)>,
     req_meta: HashMap<RequestId, ReqMeta>,
     req_ids: IdAlloc,
     fs: JournaledFs,
@@ -255,12 +355,14 @@ impl Kernel {
         let mut cache = PageCache::new(cfg.cache);
         cache.set_tracer(tracer.clone());
         let cores = cfg.cores;
+        let device = ActiveDevice::resolve(device, cfg.queue);
         Kernel {
             id,
             cfg,
             sched,
             device,
             inflight: None,
+            q_inflight: HashMap::new(),
             req_meta: HashMap::new(),
             req_ids: IdAlloc::new(),
             fs,
@@ -459,7 +561,11 @@ impl Kernel {
     /// scheduler and nothing on the device. The check harness requires
     /// this before declaring quiescence.
     pub fn block_idle(&self) -> bool {
-        self.inflight.is_none() && self.sched.queued() == 0
+        let device_idle = match &self.device {
+            ActiveDevice::Queued { dev, mq } => dev.in_flight() == 0 && mq.staged() == 0,
+            _ => self.inflight.is_none(),
+        };
+        device_idle && self.sched.queued() == 0
     }
 
     /// Run the auditors' final checkpoint with the quiescence flag set;
@@ -565,6 +671,17 @@ impl Kernel {
             return;
         };
         debug_assert_eq!(req.id, req_id);
+        if self.audit.is_some() {
+            let now = bus.q.now();
+            self.audit_event(
+                now,
+                AuditEvent::SlotReleased {
+                    req: &req,
+                    slot: 0,
+                    in_flight: 0,
+                },
+            );
+        }
         self.finish_request(req, SimDuration::ZERO, bus);
     }
 
@@ -679,6 +796,9 @@ impl Kernel {
                 let sched = self.sched.as_mut();
                 let dev = self.device.peek();
                 let mut ctx = SchedCtx::traced(now, dev, self.tracer.clone());
+                if let Some(occ) = self.device.occupancy() {
+                    ctx = ctx.with_occupancy(occ);
+                }
                 let gate = sched.syscall_enter(&info, &mut ctx);
                 (gate, ctx.drain())
             };
@@ -973,108 +1093,12 @@ impl Kernel {
         }
         self.dispatching = true;
         loop {
-            if self.inflight.is_some() {
+            if !self.device_can_accept() {
                 break;
             }
             let d = self.with_sched(bus, |s, ctx| s.block_dispatch(ctx));
             match d {
-                Dispatch::Issue(req) => {
-                    self.stats.requests_dispatched += 1;
-                    self.stats.device_bytes += req.bytes();
-                    if self.audit.is_some() {
-                        let now = bus.q.now();
-                        self.audit_event(now, AuditEvent::BlockDispatched { req: &req });
-                    }
-                    if self.tracer.enabled() {
-                        let now = bus.q.now();
-                        let qs = self
-                            .req_meta
-                            .get_mut(&req.id)
-                            .map(|m| std::mem::take(&mut m.queue_span))
-                            .unwrap_or(SpanId::NONE);
-                        self.tracer.end(qs, now);
-                        // The device span is the queue span's *sibling*
-                        // (same parent), so queueing and service read as
-                        // consecutive phases of one request.
-                        let parent = self.tracer.parent_of(qs);
-                        let ds = self.tracer.begin_child(
-                            parent,
-                            Layer::Device,
-                            "service",
-                            req.submitter,
-                            &req.causes,
-                            now,
-                        );
-                        self.tracer.set_arg(ds, req.id.raw());
-                        self.req_meta.entry(req.id).or_default().device_span = ds;
-                        self.tracer.count("block.dispatched", 1);
-                        self.tracer
-                            .observe("block.queue_ms", now.since(req.submitted_at));
-                    }
-                    match &mut self.device {
-                        DeviceKind::Physical(model) => {
-                            let mut service = model.service_time(&req.shape());
-                            if let Some(plane) = self.fault_plane.as_mut() {
-                                match plane.on_request(req.id, &req.shape()) {
-                                    Some(Fault::Spike { factor }) => {
-                                        service = service.mul_f64(factor.max(1.0));
-                                    }
-                                    Some(Fault::Transient) => {
-                                        self.req_meta.entry(req.id).or_default().failed =
-                                            Some(IoError::for_request(
-                                                IoErrorKind::TransientDevice,
-                                                req.id,
-                                            ));
-                                    }
-                                    Some(Fault::Torn { .. }) => {
-                                        self.req_meta.entry(req.id).or_default().failed = Some(
-                                            IoError::for_request(IoErrorKind::TornWrite, req.id),
-                                        );
-                                    }
-                                    None => {}
-                                }
-                            }
-                            let id = req.id;
-                            self.inflight = Some((req, service));
-                            bus.q.schedule(
-                                bus.q.now() + service,
-                                Event::DeviceDone {
-                                    k: self.id,
-                                    req: id,
-                                },
-                            );
-                        }
-                        DeviceKind::Virtual {
-                            host,
-                            host_file,
-                            host_pid,
-                            ..
-                        } => {
-                            let kind = match req.dir {
-                                sim_device::IoDir::Read => SyscallKind::Read {
-                                    file: *host_file,
-                                    offset: req.start.raw() * PAGE_SIZE,
-                                    len: req.bytes(),
-                                },
-                                sim_device::IoDir::Write => SyscallKind::Write {
-                                    file: *host_file,
-                                    offset: req.start.raw() * PAGE_SIZE,
-                                    len: req.bytes(),
-                                },
-                            };
-                            bus.cross.push(CrossAction::InjectSyscall {
-                                kernel: *host,
-                                pid: *host_pid,
-                                kind,
-                                target: InjectTarget::GuestVirtio {
-                                    guest: self.id,
-                                    req: req.id,
-                                },
-                            });
-                            self.inflight = Some((req, SimDuration::ZERO));
-                        }
-                    }
-                }
+                Dispatch::Issue(req) => self.issue(req, bus),
                 Dispatch::WaitUntil(t) => {
                     // Never re-poll at the same instant: a scheduler that
                     // answers `WaitUntil(now)` must still make time pass.
@@ -1088,11 +1112,302 @@ impl Kernel {
         self.dispatching = false;
     }
 
+    /// Room for another request below the elevator? The serial and
+    /// virtio planes hold one; the queued plane admits up to `depth`
+    /// counting both hardware slots and software staging, so staged
+    /// requests can never outrun the tags they will need.
+    fn device_can_accept(&self) -> bool {
+        match &self.device {
+            ActiveDevice::Queued { dev, mq } => {
+                dev.in_flight() + mq.staged() < dev.depth() as usize
+            }
+            _ => self.inflight.is_none(),
+        }
+    }
+
+    /// One request leaves the elevator for the device.
+    fn issue(&mut self, req: Request, bus: &mut Bus) {
+        self.stats.requests_dispatched += 1;
+        self.stats.device_bytes = self.stats.device_bytes.saturating_add(req.bytes());
+        if self.audit.is_some() {
+            let now = bus.q.now();
+            self.audit_event(now, AuditEvent::BlockDispatched { req: &req });
+        }
+        let queued_plane = matches!(self.device, ActiveDevice::Queued { .. });
+        let mut span_parent = SpanId::NONE;
+        if self.tracer.enabled() {
+            let now = bus.q.now();
+            let qs = self
+                .req_meta
+                .get_mut(&req.id)
+                .map(|m| std::mem::take(&mut m.queue_span))
+                .unwrap_or(SpanId::NONE);
+            self.tracer.end(qs, now);
+            // The device span is the queue span's *sibling* (same
+            // parent), so queueing and service read as consecutive
+            // phases of one request. On the queued plane the span opens
+            // later, when the device accepts the request into a slot.
+            span_parent = self.tracer.parent_of(qs);
+            if !queued_plane {
+                let ds = self.tracer.begin_child(
+                    span_parent,
+                    Layer::Device,
+                    "service",
+                    req.submitter,
+                    &req.causes,
+                    now,
+                );
+                self.tracer.set_arg(ds, req.id.raw());
+                self.req_meta.entry(req.id).or_default().device_span = ds;
+            }
+            self.tracer.count("block.dispatched", 1);
+            self.tracer
+                .observe("block.queue_ms", now.since(req.submitted_at));
+        }
+        // Pull what the issue needs out of the device in one borrow, so
+        // the audit/tracer calls below can take `&mut self` freely.
+        enum Plan {
+            Serial(SimDuration),
+            Queued,
+            Virtual(KernelId, FileId, Pid),
+        }
+        let plan = match &mut self.device {
+            ActiveDevice::Serial(model) => Plan::Serial(model.service_time(&req.shape())),
+            ActiveDevice::Queued { .. } => Plan::Queued,
+            ActiveDevice::Virtual {
+                host,
+                host_file,
+                host_pid,
+                ..
+            } => Plan::Virtual(*host, *host_file, *host_pid),
+        };
+        match plan {
+            Plan::Serial(mut service) => {
+                if let Some(plane) = self.fault_plane.as_mut() {
+                    match plane.on_request(req.id, &req.shape()) {
+                        Some(Fault::Spike { factor }) => {
+                            service = service.mul_f64(factor.max(1.0));
+                        }
+                        Some(Fault::Transient) => {
+                            self.req_meta.entry(req.id).or_default().failed =
+                                Some(IoError::for_request(IoErrorKind::TransientDevice, req.id));
+                        }
+                        Some(Fault::Torn { .. }) => {
+                            self.req_meta.entry(req.id).or_default().failed =
+                                Some(IoError::for_request(IoErrorKind::TornWrite, req.id));
+                        }
+                        None => {}
+                    }
+                }
+                if self.audit.is_some() {
+                    let now = bus.q.now();
+                    self.audit_event(
+                        now,
+                        AuditEvent::SlotAcquired {
+                            req: &req,
+                            slot: 0,
+                            in_flight: 1,
+                            depth: 1,
+                        },
+                    );
+                }
+                let id = req.id;
+                self.inflight = Some((req, service));
+                bus.q.schedule(
+                    bus.q.now() + service,
+                    Event::DeviceDone {
+                        k: self.id,
+                        req: id,
+                    },
+                );
+            }
+            Plan::Queued => {
+                // The fault plane rolls at dispatch (same per-request
+                // order as the serial plane); a spike is staged on the
+                // request and applied when it enters service.
+                if let Some(plane) = self.fault_plane.as_mut() {
+                    match plane.on_request(req.id, &req.shape()) {
+                        Some(Fault::Spike { factor }) => {
+                            self.req_meta.entry(req.id).or_default().spike = Some(factor);
+                        }
+                        Some(Fault::Transient) => {
+                            self.req_meta.entry(req.id).or_default().failed =
+                                Some(IoError::for_request(IoErrorKind::TransientDevice, req.id));
+                        }
+                        Some(Fault::Torn { .. }) => {
+                            self.req_meta.entry(req.id).or_default().failed =
+                                Some(IoError::for_request(IoErrorKind::TornWrite, req.id));
+                        }
+                        None => {}
+                    }
+                }
+                self.req_meta.entry(req.id).or_default().span_parent = span_parent;
+                let ActiveDevice::Queued { mq, .. } = &mut self.device else {
+                    unreachable!("plan chosen on the queued plane");
+                };
+                mq.submit(req);
+                self.pump_queued(bus);
+            }
+            Plan::Virtual(host, host_file, host_pid) => {
+                let kind = match req.dir {
+                    sim_device::IoDir::Read => SyscallKind::Read {
+                        file: host_file,
+                        offset: req.start.raw().saturating_mul(PAGE_SIZE),
+                        len: req.bytes(),
+                    },
+                    sim_device::IoDir::Write => SyscallKind::Write {
+                        file: host_file,
+                        offset: req.start.raw().saturating_mul(PAGE_SIZE),
+                        len: req.bytes(),
+                    },
+                };
+                bus.cross.push(CrossAction::InjectSyscall {
+                    kernel: host,
+                    pid: host_pid,
+                    kind,
+                    target: InjectTarget::GuestVirtio {
+                        guest: self.id,
+                        req: req.id,
+                    },
+                });
+                if self.audit.is_some() {
+                    let now = bus.q.now();
+                    self.audit_event(
+                        now,
+                        AuditEvent::SlotAcquired {
+                            req: &req,
+                            slot: 0,
+                            in_flight: 1,
+                            depth: 1,
+                        },
+                    );
+                }
+                self.inflight = Some((req, SimDuration::ZERO));
+            }
+        }
+    }
+
+    /// Drain staged requests into free hardware-queue slots, then turn
+    /// whatever the device moved into service into DES completions.
+    fn pump_queued(&mut self, bus: &mut Bus) {
+        let now = bus.q.now();
+        loop {
+            let (req, slot, started, in_flight, depth) = {
+                let ActiveDevice::Queued { dev, mq } = &mut self.device else {
+                    return;
+                };
+                if !dev.can_accept() {
+                    return;
+                }
+                let Some(req) = mq.pop_next() else { return };
+                let spike = self.req_meta.get(&req.id).and_then(|m| m.spike);
+                let (slot, started) = dev.accept(req.id, req.shape(), spike);
+                mq.note_accepted(req.submitter);
+                (req, slot, started, dev.in_flight() as u32, dev.depth())
+            };
+            if self.audit.is_some() {
+                self.audit_event(
+                    now,
+                    AuditEvent::SlotAcquired {
+                        req: &req,
+                        slot,
+                        in_flight,
+                        depth,
+                    },
+                );
+            }
+            if self.tracer.enabled() {
+                self.tracer
+                    .gauge("device.queue_depth", now, in_flight as f64);
+                let parent = self
+                    .req_meta
+                    .get(&req.id)
+                    .map(|m| m.span_parent)
+                    .unwrap_or(SpanId::NONE);
+                let ds = self.tracer.begin_child(
+                    parent,
+                    Layer::Device,
+                    slot_name(slot),
+                    req.submitter,
+                    &req.causes,
+                    now,
+                );
+                self.tracer.set_arg(ds, req.id.raw());
+                self.req_meta.entry(req.id).or_default().device_span = ds;
+            }
+            self.q_inflight.insert(req.id, (req, SimDuration::ZERO));
+            self.schedule_started(started, now, bus);
+        }
+    }
+
+    /// Record committed service times and schedule completion events for
+    /// requests the device just moved into service.
+    fn schedule_started(&mut self, started: Vec<sim_device::Started>, now: SimTime, bus: &mut Bus) {
+        for s in started {
+            if let Some(entry) = self.q_inflight.get_mut(&s.id) {
+                entry.1 = s.service;
+            }
+            bus.q.schedule(
+                now + s.service,
+                Event::DeviceDone {
+                    k: self.id,
+                    req: s.id,
+                },
+            );
+        }
+    }
+
     fn device_done(&mut self, req_id: RequestId, bus: &mut Bus) {
+        if matches!(self.device, ActiveDevice::Queued { .. }) {
+            self.device_done_queued(req_id, bus);
+            return;
+        }
         let Some((req, service)) = self.inflight.take() else {
             return;
         };
         debug_assert_eq!(req.id, req_id);
+        if self.audit.is_some() {
+            let now = bus.q.now();
+            self.audit_event(
+                now,
+                AuditEvent::SlotReleased {
+                    req: &req,
+                    slot: 0,
+                    in_flight: 0,
+                },
+            );
+        }
+        self.finish_request(req, service, bus);
+    }
+
+    fn device_done_queued(&mut self, req_id: RequestId, bus: &mut Bus) {
+        let Some((req, service)) = self.q_inflight.remove(&req_id) else {
+            return;
+        };
+        let now = bus.q.now();
+        let (slot, started, in_flight) = {
+            let ActiveDevice::Queued { dev, mq } = &mut self.device else {
+                unreachable!("routed here on the queued plane");
+            };
+            let (slot, started) = dev.complete(req_id);
+            mq.note_done(req.submitter);
+            (slot, started, dev.in_flight() as u32)
+        };
+        if self.audit.is_some() {
+            self.audit_event(
+                now,
+                AuditEvent::SlotReleased {
+                    req: &req,
+                    slot,
+                    in_flight,
+                },
+            );
+        }
+        if self.tracer.enabled() {
+            self.tracer
+                .gauge("device.queue_depth", now, in_flight as f64);
+        }
+        self.schedule_started(started, now, bus);
         self.finish_request(req, service, bus);
     }
 
@@ -1271,6 +1586,9 @@ impl Kernel {
             let sched = self.sched.as_mut();
             let dev = self.device.peek();
             let mut ctx = SchedCtx::traced(now, dev, self.tracer.clone());
+            if let Some(occ) = self.device.occupancy() {
+                ctx = ctx.with_occupancy(occ);
+            }
             let r = f(sched, &mut ctx);
             let cmds = ctx.drain();
             (r, cmds)

@@ -26,7 +26,7 @@ pub mod trace;
 pub mod world;
 
 pub use cpu::{CpuCosts, CpuModel};
-pub use kernel::{DeviceKind, FsChoice, Kernel, KernelConfig};
+pub use kernel::{DeviceKind, FsChoice, Kernel, KernelConfig, QueuePlane};
 pub use process::{Outcome, ProcAction, ProcessLogic};
 pub use stats::{KernelStats, ProcStats};
 pub use trace::{RequestTrace, TraceRecord};

@@ -143,6 +143,12 @@ impl World {
         self.bus.q.now()
     }
 
+    /// Events processed by the world's queue so far (throughput
+    /// benchmarks report events per wall-clock second from this).
+    pub fn events_processed(&self) -> u64 {
+        self.bus.q.events_processed()
+    }
+
     /// Add a machine; returns its id.
     pub fn add_kernel(
         &mut self,

@@ -6,7 +6,7 @@
 //! runner sweep [FIGURE...] [--seeds N] [--jobs N] [--root-seed N]
 //!              [--sched NAME]... [--device NAME]... [--paper]
 //! runner check [--programs N] [--jobs N] [--root-seed N] [--shrink]
-//!              [--replay FILE]
+//!              [--queue-depth N] [--replay FILE]
 //! ```
 //!
 //! Targets are `fig01 … fig21`, `ablations`, `breakdown`, `faults`,
@@ -33,7 +33,9 @@
 //! through every scheduler on both devices with the invariant auditors
 //! installed, comparing outcomes against the noop reference. `--shrink`
 //! minimizes any failure to a small replayable spec; `--replay FILE`
-//! re-checks a previously printed spec instead of generating. Exit code
+//! re-checks a previously printed spec instead of generating.
+//! `--queue-depth N` replays the matrix on the queued-device plane at
+//! hardware queue depth N instead of the legacy serial device. Exit code
 //! 1 on any violation.
 //!
 //! Unknown targets or flags are an error: usage goes to stderr and the
@@ -51,7 +53,7 @@ usage: runner [--paper] [--csv] [--trace] [--faults] [--jobs N] [TARGET...]
        runner sweep [FIGURE...] [--seeds N] [--jobs N] [--root-seed N]
                     [--sched NAME]... [--device NAME]... [--paper]
        runner check [--programs N] [--jobs N] [--root-seed N] [--shrink]
-                    [--replay FILE]
+                    [--queue-depth N] [--replay FILE]
 
 targets: fig01 fig03 fig05 fig06 fig09 fig10 fig11 fig12 fig13 fig14
          fig15 fig16 fig17 fig18 fig19 fig20 fig21 ablations breakdown
@@ -110,6 +112,7 @@ struct Cli {
     seeds: Option<u32>,
     root_seed: u64,
     programs: Option<usize>,
+    queue_depth: Option<u32>,
     shrink: bool,
     replay: Option<String>,
     scheds: Vec<SchedChoice>,
@@ -169,6 +172,13 @@ fn parse_cli(args: &[String]) -> Cli {
                 match v.parse::<usize>() {
                     Ok(n) if n >= 1 => cli.programs = Some(n),
                     _ => die(&format!("invalid --programs value: {v}")),
+                }
+            }
+            "--queue-depth" => {
+                let v = value(&mut it, "--queue-depth", inline);
+                match v.parse::<u32>() {
+                    Ok(n) if n >= 1 => cli.queue_depth = Some(n),
+                    _ => die(&format!("invalid --queue-depth value: {v}")),
                 }
             }
             "--shrink" => cli.shrink = true,
@@ -290,9 +300,14 @@ fn check_main(cli: &Cli) {
                 jobs: cli.jobs.unwrap_or(1),
                 root_seed: cli.root_seed,
                 shrink: cli.shrink,
+                queue_depth: cli.queue_depth,
+            };
+            let plane = match cfg.queue_depth {
+                Some(d) => format!("queued device, depth {d}"),
+                None => "serial device".to_string(),
             };
             eprintln!(
-                "check: {} program(s) on {} job(s), root seed {}",
+                "check: {} program(s) on {} job(s), root seed {}, {plane}",
                 cfg.programs, cfg.jobs, cfg.root_seed
             );
             run_check(&cfg)
@@ -317,6 +332,9 @@ fn main() {
         }
         check_main(&cli);
         return;
+    }
+    if cli.queue_depth.is_some() {
+        die("--queue-depth only applies to the check target");
     }
 
     if cli.targets.iter().any(|t| t == "sweep") {

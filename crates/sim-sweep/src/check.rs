@@ -78,6 +78,39 @@ pub struct RunOutcome {
     pub violations: Vec<String>,
     /// The kernel's I/O error count (fault-injection composition checks).
     pub io_errors: u64,
+    /// Deterministic digest of the kernel's end-of-run counters
+    /// (dispatches, device bytes, per-pid traffic and fsync latencies).
+    /// Two runs that scheduled the same events produce equal strings —
+    /// the queued-device equivalence test compares these to assert that
+    /// queue depth 1 is byte-identical to the serial device plane.
+    pub fingerprint: String,
+}
+
+/// Render the counters that must match between a serial-device run and a
+/// depth-1 queued run into one comparable line.
+fn fingerprint(stats: &sim_kernel::KernelStats) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "dispatched={} device_bytes={}",
+        stats.requests_dispatched, stats.device_bytes
+    );
+    let mut pids: Vec<_> = stats.procs.keys().copied().collect();
+    pids.sort();
+    for pid in pids {
+        let p = &stats.procs[&pid];
+        let _ = write!(
+            out,
+            " pid{}[r={} w={} fsync_ns={:?}]",
+            pid.0,
+            p.read_bytes,
+            p.write_bytes,
+            p.fsyncs
+                .iter()
+                .map(|(_, d)| d.as_nanos())
+                .collect::<Vec<_>>()
+        );
+    }
+    out
 }
 
 /// Replays one process's op list, mapping file references to real ids as
@@ -157,7 +190,20 @@ pub fn run_one(
     device: DeviceChoice,
     sabotage: Option<u64>,
 ) -> RunOutcome {
-    run_inner(spec, sched, device, sabotage, None)
+    run_inner(spec, sched, device, sabotage, None, None)
+}
+
+/// [`run_one`] on the queued-device plane at hardware queue depth
+/// `depth`. Depth 1 must produce an outcome equal to [`run_one`] in every
+/// field including `fingerprint` — `tests/queue_equivalence.rs` holds the
+/// stack to that.
+pub fn run_one_queued(
+    spec: &ProgramSpec,
+    sched: SchedChoice,
+    device: DeviceChoice,
+    depth: u32,
+) -> RunOutcome {
+    run_inner(spec, sched, device, None, None, Some(depth))
 }
 
 /// [`run_one`] with a device fault plan installed — composes the fuzzer
@@ -169,7 +215,7 @@ pub fn run_one_faulted(
     device: DeviceChoice,
     faults: DeviceFaultPlane,
 ) -> RunOutcome {
-    run_inner(spec, sched, device, None, Some(faults))
+    run_inner(spec, sched, device, None, Some(faults), None)
 }
 
 fn run_inner(
@@ -178,9 +224,11 @@ fn run_inner(
     device: DeviceChoice,
     sabotage: Option<u64>,
     faults: Option<DeviceFaultPlane>,
+    queue_depth: Option<u32>,
 ) -> RunOutcome {
     let mut setup = Setup::new(sched);
     setup.device = device;
+    setup.queue_depth = queue_depth;
     let mut cfg = kernel_config(setup);
     cfg.audit = Some(AuditPlane::standard());
     let sched_box: Box<dyn IoSched> = match sabotage {
@@ -255,20 +303,31 @@ fn run_inner(
         per_proc: sinks.into_iter().map(|s| s.take()).collect(),
         violations,
         io_errors: w.kernel(k).stats.io_errors,
+        fingerprint: fingerprint(&w.kernel(k).stats),
     }
 }
 
 /// Run the full scheduler × device matrix on one program. Returns one
 /// message per problem found (empty means the program checks clean).
 pub fn check_program(spec: &ProgramSpec) -> Vec<String> {
+    check_program_qd(spec, None)
+}
+
+/// [`check_program`] generalized over the device plane: `None` replays on
+/// the legacy serial device, `Some(d)` on the queued plane at hardware
+/// queue depth `d` (`runner check --queue-depth d`). The differential
+/// oracle is unchanged — schedulers may exploit a deep queue but must
+/// never change syscall results.
+pub fn check_program_qd(spec: &ProgramSpec, queue_depth: Option<u32>) -> Vec<String> {
+    let run = |sched, device| run_inner(spec, sched, device, None, None, queue_depth);
     let mut problems = Vec::new();
     for &device in &ALL_DEVICES {
-        let reference = run_one(spec, ALL_SCHEDS[0], device, None);
+        let reference = run(ALL_SCHEDS[0], device);
         for v in &reference.violations {
             problems.push(format!("noop/{}: {v}", device_name(device)));
         }
         for &sched in &ALL_SCHEDS[1..] {
-            let r = run_one(spec, sched, device, None);
+            let r = run(sched, device);
             let label = format!("{}/{}", sched.name(), device_name(device));
             for v in &r.violations {
                 problems.push(format!("{label}: {v}"));
@@ -299,6 +358,9 @@ pub struct CheckConfig {
     pub root_seed: u64,
     /// Minimize failing programs before reporting.
     pub shrink: bool,
+    /// Device plane: `None` = legacy serial device, `Some(d)` = queued
+    /// device at hardware queue depth `d`.
+    pub queue_depth: Option<u32>,
 }
 
 impl Default for CheckConfig {
@@ -308,6 +370,7 @@ impl Default for CheckConfig {
             jobs: 1,
             root_seed: 0,
             shrink: false,
+            queue_depth: None,
         }
     }
 }
@@ -374,9 +437,10 @@ fn fail_from(
     index: u64,
     problems: Vec<String>,
     minimize: bool,
+    queue_depth: Option<u32>,
 ) -> CheckFailure {
     let shrunk = if minimize {
-        let small = shrink(spec, |p| !check_program(p).is_empty());
+        let small = shrink(spec, |p| !check_program_qd(p, queue_depth).is_empty());
         (small.syscall_count() < spec.syscall_count()).then(|| small.to_string())
     } else {
         None
@@ -397,7 +461,7 @@ pub fn run_check(cfg: &CheckConfig) -> CheckReport {
             &mut SimRng::stream(cfg.root_seed, idx),
             &GenConfig::default(),
         );
-        let problems = check_program(&spec);
+        let problems = check_program_qd(&spec, cfg.queue_depth);
         (idx, spec, problems)
     });
     // Shrinking replays the whole matrix per candidate, so it stays on
@@ -405,7 +469,7 @@ pub fn run_check(cfg: &CheckConfig) -> CheckReport {
     let failures = results
         .into_iter()
         .filter(|(_, _, problems)| !problems.is_empty())
-        .map(|(idx, spec, problems)| fail_from(&spec, idx, problems, cfg.shrink))
+        .map(|(idx, spec, problems)| fail_from(&spec, idx, problems, cfg.shrink, cfg.queue_depth))
         .collect();
     CheckReport {
         programs: cfg.programs,
@@ -420,7 +484,7 @@ pub fn run_replay(text: &str, shrink_it: bool) -> Result<CheckReport, String> {
     let failures = if problems.is_empty() {
         Vec::new()
     } else {
-        vec![fail_from(&spec, u64::MAX, problems, shrink_it)]
+        vec![fail_from(&spec, u64::MAX, problems, shrink_it, None)]
     };
     Ok(CheckReport {
         programs: 1,

@@ -34,5 +34,5 @@ pub mod tracer;
 pub use block::{RequestTrace, TraceRecord};
 pub use breakdown::{fsync_breakdown, layer_totals, FsyncBreakdown, FSYNC_COMPONENTS};
 pub use metrics::{Histogram, Registry};
-pub use span::{Layer, SpanId, SpanRecord};
+pub use span::{slot_name, Layer, SpanId, SpanRecord};
 pub use tracer::Tracer;

@@ -51,6 +51,20 @@ impl Layer {
     }
 }
 
+/// Static span names for hardware-queue slots, so per-slot device
+/// spans stay alloc-free (`begin` takes `&'static str`). Slots past
+/// the table share a generic name — queue depths above 32 are outside
+/// the modeled NCQ/NVMe range anyway.
+pub fn slot_name(slot: u32) -> &'static str {
+    const NAMES: [&str; 32] = [
+        "slot00", "slot01", "slot02", "slot03", "slot04", "slot05", "slot06", "slot07", "slot08",
+        "slot09", "slot10", "slot11", "slot12", "slot13", "slot14", "slot15", "slot16", "slot17",
+        "slot18", "slot19", "slot20", "slot21", "slot22", "slot23", "slot24", "slot25", "slot26",
+        "slot27", "slot28", "slot29", "slot30", "slot31",
+    ];
+    NAMES.get(slot as usize).copied().unwrap_or("slot")
+}
+
 /// A stable span identifier. Zero is the reserved "no span" value so a
 /// disabled tracer can hand out ids without allocating.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]

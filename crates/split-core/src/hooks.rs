@@ -1,6 +1,6 @@
 //! The hook interface between the kernel and a split scheduler.
 
-use sim_block::{Dispatch, IoPrio, Request};
+use sim_block::{Dispatch, IoPrio, QueueOccupancy, Request};
 use sim_core::{BlockNo, CauseSet, FileId, IoError, Pid, SimDuration, SimTime};
 use sim_device::DiskModel;
 use sim_trace::Tracer;
@@ -178,6 +178,10 @@ pub struct SchedCtx<'a> {
     pub now: SimTime,
     /// The device servicing this kernel's block layer; peek-only.
     pub device: &'a dyn DiskModel,
+    /// Hardware-queue occupancy when the queued-device plane is active;
+    /// `None` on the legacy serial device. Split schedulers use it to
+    /// see — and cap — a tenant's share of the in-flight slots.
+    occupancy: Option<&'a QueueOccupancy>,
     tracer: Tracer,
     commands: Vec<SchedCmd>,
 }
@@ -196,9 +200,21 @@ impl<'a> SchedCtx<'a> {
         SchedCtx {
             now,
             device,
+            occupancy: None,
             tracer,
             commands: Vec::new(),
         }
+    }
+
+    /// Attach the hardware-queue occupancy view (queued-device plane).
+    pub fn with_occupancy(mut self, occ: &'a QueueOccupancy) -> Self {
+        self.occupancy = Some(occ);
+        self
+    }
+
+    /// Hardware-queue occupancy, when the queued-device plane is active.
+    pub fn occupancy(&self) -> Option<&QueueOccupancy> {
+        self.occupancy
     }
 
     /// The kernel's tracing handle (disabled unless the kernel enabled it).

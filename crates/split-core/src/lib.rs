@@ -36,6 +36,10 @@ pub use hooks::{
 };
 pub use proxy::ProxyRegistry;
 
+// The occupancy view hooks receive when the queued-device plane is on;
+// defined in sim-block next to the mq dispatch layer that maintains it.
+pub use sim_block::QueueOccupancy;
+
 // The tag type itself; defined in sim-core so the block layer can carry it,
 // re-exported here because it is conceptually part of the framework.
 pub use sim_core::CauseSet;

@@ -320,6 +320,20 @@ impl IoSched for SplitToken {
                 if !self.buckets.may_proceed(pid, now) {
                     continue; // throttled at the block level (§5.3)
                 }
+                // Queued-device plane: cap any one tenant to half the
+                // hardware queue while a competitor has reads waiting, so
+                // a burst cannot seize every NCQ slot. The in-flight
+                // analogue of the token throttle; a no-op on the serial
+                // plane (no occupancy view) and at depth 1.
+                if let Some(occ) = ctx.occupancy() {
+                    let cap = (occ.depth / 2).max(1);
+                    if occ.depth > 1
+                        && occ.of(pid) >= cap
+                        && self.reads.iter().any(|(&p, q)| p != pid && !q.0.is_empty())
+                    {
+                        continue;
+                    }
+                }
                 let q = self.reads.get_mut(&pid).expect("has work");
                 let req = q.0.pop_cscan(q.1).expect("non-empty");
                 q.1 = req.shape().end();
@@ -693,6 +707,63 @@ mod tests {
             refunded > charged,
             "failed I/O must hand the tokens back: {charged} -> {refunded}"
         );
+    }
+
+    #[test]
+    fn occupancy_cap_skips_a_reader_holding_half_the_queue() {
+        use split_core::QueueOccupancy;
+        let dev = HddModel::new();
+        let mut s = SplitToken::new();
+        let rd = |id: u64, pid: u32, start: u64| Request {
+            id: RequestId(id),
+            dir: IoDir::Read,
+            start: BlockNo(start),
+            nblocks: 8,
+            submitter: Pid(pid),
+            causes: CauseSet::of(Pid(pid)),
+            sync: true,
+            ioprio: Default::default(),
+            deadline: None,
+            submitted_at: SimTime::ZERO,
+            file: None,
+            kind: ReqKind::Data,
+        };
+        // Pid 1 already holds half an 8-deep queue; pid 2 holds nothing
+        // and has a read waiting, so pid 1 must be skipped.
+        let occ = QueueOccupancy {
+            depth: 8,
+            in_flight: 4,
+            staged: 0,
+            per_pid: vec![(Pid(1), 4)],
+        };
+        let mut ctx = SchedCtx::new(SimTime::ZERO, &dev).with_occupancy(&occ);
+        s.block_add(rd(1, 1, 100), &mut ctx);
+        s.block_add(rd(2, 2, 900), &mut ctx);
+        match s.block_dispatch(&mut ctx) {
+            Dispatch::Issue(req) => assert_eq!(req.submitter, Pid(2), "capped pid skipped"),
+            other => panic!("{other:?}"),
+        }
+        // With the competitor served, pid 1's turn comes even while it
+        // holds its slots (no competitor with queued reads → no cap).
+        match s.block_dispatch(&mut ctx) {
+            Dispatch::Issue(req) => assert_eq!(req.submitter, Pid(1)),
+            other => panic!("{other:?}"),
+        }
+        // Depth 1 never caps (that plane is byte-identical to serial).
+        let shallow = QueueOccupancy {
+            depth: 1,
+            in_flight: 1,
+            staged: 0,
+            per_pid: vec![(Pid(1), 1)],
+        };
+        let mut ctx = SchedCtx::new(SimTime::ZERO, &dev).with_occupancy(&shallow);
+        s.block_add(rd(3, 1, 200), &mut ctx);
+        s.block_add(rd(4, 2, 1000), &mut ctx);
+        let issued = match s.block_dispatch(&mut ctx) {
+            Dispatch::Issue(req) => req,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(issued.dir, IoDir::Read);
     }
 
     #[test]
