@@ -1,1 +1,561 @@
-//! Benchmark crate; all Criterion benches live in benches/.
+//! The standard bench harness behind `runner bench`.
+//!
+//! A fixed panel of targets (fig01, fig01_qd at several depths, a
+//! `check` fuzz batch) runs `reps` times each with the self-profiler
+//! and (when the `alloc-count` feature is on anywhere in the build)
+//! the counting allocator installed. Each target reports events/sec
+//! and wall time as mean ± 95% CI over the reps, a per-phase
+//! wall-clock breakdown, peak allocations, and simulated fsync-latency
+//! SLO percentiles. The report serializes to `BENCH_<git-sha>.json`
+//! (schema [`SCHEMA`]) so CI can chart a perf trajectory and
+//! [`compare`] a PR against the committed baseline.
+//!
+//! Everything the sim computes stays deterministic: the profiler and
+//! timer read wall clocks on the host side only, so bench runs produce
+//! the same simulated results as untimed runs, byte for byte.
+//!
+//! Hand-rolled micro benches live in `benches/`; this module is the
+//! schema-stable harness the regression gate consumes.
+
+use std::time::Instant;
+
+use sim_core::alloc_count::{self, AllocSnapshot};
+use sim_core::prof::{self, ProfSnapshot, Profiler};
+use sim_core::stats::{summarize, Percentiles, Summary};
+use sim_trace::json::Value;
+
+/// Report schema identifier; bump when the JSON shape changes.
+pub const SCHEMA: &str = "bench-v1";
+
+/// Regression gate: fail when events/sec drops more than this fraction
+/// below the baseline mean, outside both confidence intervals.
+pub const REGRESSION_FRACTION: f64 = 0.15;
+
+/// What one run of a bench target hands back to the harness.
+#[derive(Debug, Clone, Default)]
+pub struct RunOutput {
+    /// Events the simulation processed.
+    pub events: u64,
+    /// Completed simulated fsync latencies, milliseconds.
+    pub fsync_ms: Vec<f64>,
+}
+
+/// One named workload in the panel.
+pub struct BenchTarget {
+    /// Stable key in the report (`fig01`, `fig01_qd_d8`, `check`, ...).
+    pub name: &'static str,
+    /// Runs the workload once, from a fresh world.
+    pub run: Box<dyn Fn() -> RunOutput>,
+}
+
+/// Simulated fsync-latency SLO percentiles (nearest-rank).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SloStats {
+    /// Observations.
+    pub count: usize,
+    /// Median (ms).
+    pub p50: f64,
+    /// 99th percentile (ms).
+    pub p99: f64,
+    /// 99.9th percentile (ms).
+    pub p999: f64,
+    /// Largest observation (ms).
+    pub max: f64,
+}
+
+impl SloStats {
+    /// Percentiles of a latency sample (zeros when empty).
+    pub fn from_ms(ms: Vec<f64>) -> Self {
+        let count = ms.len();
+        let p = Percentiles::new(ms);
+        SloStats {
+            count,
+            p50: p.p50(),
+            p99: p.p99(),
+            p999: p.p999(),
+            max: p.max(),
+        }
+    }
+}
+
+/// Everything measured for one panel target.
+#[derive(Debug, Clone)]
+pub struct TargetReport {
+    /// Target key.
+    pub name: String,
+    /// Deterministic event count of one run (identical across reps).
+    pub events: u64,
+    /// Events per wall-clock second over the reps.
+    pub eps: Summary,
+    /// Wall seconds per run over the reps.
+    pub wall_s: Summary,
+    /// Per-phase wall-clock attribution from the final rep.
+    pub prof: ProfSnapshot,
+    /// Allocator counters from the final rep (zeros when the
+    /// `alloc-count` feature is off).
+    pub alloc: AllocSnapshot,
+    /// Simulated fsync SLO percentiles from the final rep.
+    pub fsync: SloStats,
+}
+
+/// A full panel run, ready to serialize.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Git revision the run measured (see [`git_sha`]).
+    pub git_sha: String,
+    /// Timed repetitions per target.
+    pub reps: usize,
+    /// One entry per panel target, in panel order.
+    pub targets: Vec<TargetReport>,
+}
+
+/// Run every target `reps` times (plus one untimed warmup) with the
+/// self-profiler installed on this thread, and collect the report.
+pub fn run_panel(targets: &[BenchTarget], reps: usize, git_sha: String) -> BenchReport {
+    let reps = reps.max(1);
+    let mut out = Vec::with_capacity(targets.len());
+    for t in targets {
+        let p = Profiler::new();
+        p.set_enabled(true);
+        prof::install_thread(&p);
+        let _ = (t.run)(); // warmup: page in code and allocator arenas
+        let mut eps = Vec::with_capacity(reps);
+        let mut wall = Vec::with_capacity(reps);
+        let mut last = RunOutput::default();
+        for _ in 0..reps {
+            p.reset();
+            alloc_count::reset_peak();
+            let t0 = Instant::now();
+            let run = (t.run)();
+            let dt = t0.elapsed().as_secs_f64();
+            wall.push(dt);
+            eps.push(if dt > 0.0 {
+                run.events as f64 / dt
+            } else {
+                0.0
+            });
+            last = run;
+        }
+        let snap = p.snapshot();
+        let alloc = alloc_count::snapshot();
+        prof::uninstall_thread();
+        out.push(TargetReport {
+            name: t.name.to_string(),
+            events: last.events,
+            eps: summarize(&eps),
+            wall_s: summarize(&wall),
+            prof: snap,
+            alloc,
+            fsync: SloStats::from_ms(last.fsync_ms),
+        });
+    }
+    BenchReport {
+        git_sha,
+        reps,
+        targets: out,
+    }
+}
+
+/// The revision to stamp on a report: `BENCH_GIT_SHA` if set, else
+/// `git rev-parse --short=12 HEAD`, else `"local"`.
+pub fn git_sha() -> String {
+    if let Ok(s) = std::env::var("BENCH_GIT_SHA") {
+        let s = s.trim().to_string();
+        if !s.is_empty() {
+            return s;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "local".to_string())
+}
+
+/// A finite `f64` as a JSON number (non-finite pins to 0, matching the
+/// trace exporter's convention).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn summary_json(s: &Summary) -> String {
+    format!(
+        r#"{{"n":{},"mean":{},"stddev":{},"ci95":{}}}"#,
+        s.n,
+        num(s.mean),
+        num(s.stddev),
+        num(s.ci95)
+    )
+}
+
+impl BenchReport {
+    /// Serialize to the schema-stable `BENCH_*.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"git_sha\": \"{}\",\n  \"reps\": {},\n",
+            sim_trace::chrome::escape_json(&self.git_sha),
+            self.reps
+        ));
+        out.push_str(&format!(
+            "  \"host\": {{\"os\": \"{}\", \"arch\": \"{}\", \"cores\": {}}},\n",
+            std::env::consts::OS,
+            std::env::consts::ARCH,
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        ));
+        out.push_str(&format!(
+            "  \"alloc_counting\": {},\n  \"targets\": {{\n",
+            alloc_count::enabled()
+        ));
+        let mut first = true;
+        for t in &self.targets {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "    \"{}\": {{\n      \"events\": {},\n      \"events_per_sec\": {},\n      \"wall_s\": {},\n",
+                sim_trace::chrome::escape_json(&t.name),
+                t.events,
+                summary_json(&t.eps),
+                summary_json(&t.wall_s),
+            ));
+            out.push_str(&format!(
+                "      \"alloc\": {{\"enabled\": {}, \"allocs\": {}, \"frees\": {}, \"peak_bytes\": {}}},\n",
+                t.alloc.enabled, t.alloc.allocs, t.alloc.frees, t.alloc.peak_bytes
+            ));
+            out.push_str("      \"phases\": {");
+            let mut pfirst = true;
+            for ps in &t.prof.phases {
+                if !pfirst {
+                    out.push_str(", ");
+                }
+                pfirst = false;
+                out.push_str(&format!(
+                    "\"{}\": {{\"calls\": {}, \"nanos\": {}}}",
+                    ps.phase.name(),
+                    ps.calls,
+                    ps.nanos
+                ));
+            }
+            out.push_str("},\n");
+            out.push_str(&format!(
+                "      \"queue\": {{\"depth_max\": {}, \"depth_mean\": {}, \"mq_staged_max\": {}, \"mq_inflight_max\": {}}},\n",
+                t.prof.depth_max,
+                num(t.prof.depth_mean),
+                t.prof.mq_staged_max,
+                t.prof.mq_inflight_max
+            ));
+            out.push_str(&format!(
+                "      \"fsync_ms\": {{\"count\": {}, \"p50\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}}}\n    }}",
+                t.fsync.count,
+                num(t.fsync.p50),
+                num(t.fsync.p99),
+                num(t.fsync.p999),
+                num(t.fsync.max)
+            ));
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Human-readable panel summary (what `runner bench` prints).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "bench panel @ {} ({} rep(s); alloc counting {})\n",
+            self.git_sha,
+            self.reps,
+            if alloc_count::enabled() { "on" } else { "off" }
+        );
+        out.push_str(&format!(
+            "{:<14} {:>14} {:>10} {:>10} {:>12} {:>12}\n",
+            "target", "events/s", "±ci95", "wall s", "events", "fsync p99 ms"
+        ));
+        for t in &self.targets {
+            out.push_str(&format!(
+                "{:<14} {:>14.0} {:>10.0} {:>10.3} {:>12} {:>12.3}\n",
+                t.name, t.eps.mean, t.eps.ci95, t.wall_s.mean, t.events, t.fsync.p99
+            ));
+        }
+        out
+    }
+}
+
+/// The per-phase table `runner profile` prints.
+pub fn render_profile(name: &str, snap: &ProfSnapshot, alloc: &AllocSnapshot) -> String {
+    let total = snap.total_nanos().max(1);
+    let mut out = format!("profile: {name}\n");
+    out.push_str(&format!(
+        "{:<12} {:>12} {:>12} {:>10} {:>7}\n",
+        "phase", "calls", "total ms", "mean ns", "share"
+    ));
+    for ps in &snap.phases {
+        out.push_str(&format!(
+            "{:<12} {:>12} {:>12.3} {:>10.0} {:>6.1}%\n",
+            ps.phase.name(),
+            ps.calls,
+            ps.nanos as f64 / 1e6,
+            ps.mean_nanos(),
+            100.0 * ps.nanos as f64 / total as f64
+        ));
+    }
+    out.push_str(&format!(
+        "queue depth: max {} mean {:.1}; mq staged max {} in-flight max {}\n",
+        snap.depth_max, snap.depth_mean, snap.mq_staged_max, snap.mq_inflight_max
+    ));
+    if alloc.enabled {
+        out.push_str(&format!(
+            "allocations: {} allocs, {} frees, peak {} bytes\n",
+            alloc.allocs, alloc.frees, alloc.peak_bytes
+        ));
+    } else {
+        out.push_str("allocations: counting off (build with --features sim-sweep/alloc-count)\n");
+    }
+    out
+}
+
+/// `runner profile`'s JSON sidecar for one figure run.
+pub fn profile_json(
+    name: &str,
+    snap: &ProfSnapshot,
+    alloc: &AllocSnapshot,
+    events: u64,
+    wall_s: f64,
+) -> String {
+    let mut out = format!(
+        "{{\n  \"schema\": \"profile-v1\",\n  \"target\": \"{}\",\n  \"events\": {events},\n  \"wall_s\": {},\n  \"phases\": {{",
+        sim_trace::chrome::escape_json(name),
+        num(wall_s)
+    );
+    let mut first = true;
+    for ps in &snap.phases {
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        out.push_str(&format!(
+            "\"{}\": {{\"calls\": {}, \"nanos\": {}}}",
+            ps.phase.name(),
+            ps.calls,
+            ps.nanos
+        ));
+    }
+    out.push_str(&format!(
+        "}},\n  \"queue\": {{\"depth_max\": {}, \"depth_mean\": {}, \"mq_staged_max\": {}, \"mq_inflight_max\": {}}},\n",
+        snap.depth_max,
+        num(snap.depth_mean),
+        snap.mq_staged_max,
+        snap.mq_inflight_max
+    ));
+    out.push_str(&format!(
+        "  \"alloc\": {{\"enabled\": {}, \"allocs\": {}, \"frees\": {}, \"peak_bytes\": {}}}\n}}\n",
+        alloc.enabled, alloc.allocs, alloc.frees, alloc.peak_bytes
+    ));
+    out
+}
+
+/// The verdict of holding a report against a baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Comparison {
+    /// Hard failures: events/sec fell > [`REGRESSION_FRACTION`] below
+    /// the baseline mean, outside both 95% intervals.
+    pub regressions: Vec<String>,
+    /// Soft signals: deterministic event counts moved (a model change —
+    /// goldens gate correctness, so this only warns), targets missing
+    /// from one side, or a baseline that predates a panel target.
+    pub warnings: Vec<String>,
+    /// Targets that passed, with their throughput ratio.
+    pub ok: Vec<String>,
+}
+
+impl Comparison {
+    /// True when no regression fired.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Render for the CI log.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.regressions {
+            out.push_str(&format!("REGRESSION: {r}\n"));
+        }
+        for w in &self.warnings {
+            out.push_str(&format!("warning: {w}\n"));
+        }
+        for o in &self.ok {
+            out.push_str(&format!("ok: {o}\n"));
+        }
+        out
+    }
+}
+
+/// Compare `cur` against a parsed baseline `BENCH_*.json` document.
+pub fn compare(cur: &BenchReport, baseline: &Value) -> Comparison {
+    let mut cmp = Comparison::default();
+    if baseline.get("schema").and_then(|v| v.as_str()) != Some(SCHEMA) {
+        cmp.warnings.push(format!(
+            "baseline schema is {:?}, expected {SCHEMA:?}; skipping comparison",
+            baseline.get("schema").and_then(|v| v.as_str())
+        ));
+        return cmp;
+    }
+    let Some(base_targets) = baseline.get("targets") else {
+        cmp.warnings
+            .push("baseline has no targets object; skipping comparison".to_string());
+        return cmp;
+    };
+    for t in &cur.targets {
+        let Some(base) = base_targets.get(&t.name) else {
+            cmp.warnings.push(format!(
+                "target {} not in baseline (new panel entry?)",
+                t.name
+            ));
+            continue;
+        };
+        let base_mean = base
+            .get("events_per_sec")
+            .and_then(|v| v.get("mean"))
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        let base_ci = base
+            .get("events_per_sec")
+            .and_then(|v| v.get("ci95"))
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        if let Some(base_events) = base.get("events").and_then(|v| v.as_u64()) {
+            if base_events != t.events {
+                cmp.warnings.push(format!(
+                    "model shift: {} deterministic event count {} -> {} \
+                     (goldens gate behaviour; throughput compared anyway)",
+                    t.name, base_events, t.events
+                ));
+            }
+        }
+        if base_mean <= 0.0 {
+            cmp.warnings
+                .push(format!("baseline {} has no throughput sample", t.name));
+            continue;
+        }
+        let floor = (1.0 - REGRESSION_FRACTION) * base_mean;
+        if t.eps.mean + t.eps.ci95 + base_ci < floor {
+            cmp.regressions.push(format!(
+                "{}: {:.0} ev/s vs baseline {:.0} ev/s ({:+.1}%, gate -{:.0}% outside CI)",
+                t.name,
+                t.eps.mean,
+                base_mean,
+                100.0 * (t.eps.mean / base_mean - 1.0),
+                100.0 * REGRESSION_FRACTION
+            ));
+        } else {
+            cmp.ok.push(format!(
+                "{}: {:.0} ev/s vs baseline {:.0} ev/s ({:+.1}%)",
+                t.name,
+                t.eps.mean,
+                base_mean,
+                100.0 * (t.eps.mean / base_mean - 1.0)
+            ));
+        }
+    }
+    cmp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_trace::json;
+
+    fn report(mean: f64, ci95: f64, events: u64) -> BenchReport {
+        let eps = Summary {
+            n: 3,
+            mean,
+            ci95,
+            ..Summary::default()
+        };
+        BenchReport {
+            git_sha: "test".to_string(),
+            reps: 3,
+            targets: vec![TargetReport {
+                name: "fig01".to_string(),
+                events,
+                eps,
+                wall_s: summarize(&[0.5, 0.6, 0.55]),
+                prof: Profiler::new().snapshot(),
+                alloc: AllocSnapshot::default(),
+                fsync: SloStats::from_ms(vec![1.0, 2.0, 3.0]),
+            }],
+        }
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let r = report(1000.0, 50.0, 42);
+        let doc = json::parse(&r.to_json()).expect("valid JSON");
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some(SCHEMA));
+        let t = doc.get("targets").unwrap().get("fig01").unwrap();
+        assert_eq!(t.get("events").unwrap().as_u64(), Some(42));
+        assert_eq!(
+            t.get("events_per_sec")
+                .unwrap()
+                .get("mean")
+                .unwrap()
+                .as_f64(),
+            Some(1000.0)
+        );
+        assert!(t.get("phases").unwrap().get("event_pop").is_some());
+        assert_eq!(
+            t.get("fsync_ms").unwrap().get("count").unwrap().as_u64(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn compare_fails_only_outside_the_interval() {
+        let base = json::parse(&report(1000.0, 20.0, 42).to_json()).unwrap();
+        // 40% down: regression.
+        let c = compare(&report(600.0, 10.0, 42), &base);
+        assert!(!c.passed());
+        // 10% down: inside the 15% gate.
+        let c = compare(&report(900.0, 10.0, 42), &base);
+        assert!(c.passed(), "{:?}", c.regressions);
+        // 16% down but wide CIs overlap the floor: passes.
+        let c = compare(&report(840.0, 30.0, 42), &base);
+        assert!(c.passed(), "{:?}", c.regressions);
+        // 18% down with tight CIs (841 < the 850 floor): fails.
+        let c = compare(&report(820.0, 1.0, 42), &base);
+        assert!(!c.passed());
+    }
+
+    #[test]
+    fn compare_warns_on_model_shift_and_missing_targets() {
+        let base = json::parse(&report(1000.0, 20.0, 42).to_json()).unwrap();
+        let mut cur = report(1000.0, 20.0, 43);
+        cur.targets[0].name = "fig99".to_string();
+        let c = compare(&cur, &base);
+        assert!(c.passed());
+        assert!(c.warnings.iter().any(|w| w.contains("not in baseline")));
+        let c = compare(&report(1000.0, 20.0, 43), &base);
+        assert!(c.warnings.iter().any(|w| w.contains("model shift")));
+    }
+
+    #[test]
+    fn slo_stats_from_sample() {
+        let s = SloStats::from_ms(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.p50, 2.0);
+        assert_eq!(s.max, 4.0);
+        let empty = SloStats::from_ms(Vec::new());
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.p999, 0.0);
+    }
+}

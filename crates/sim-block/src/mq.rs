@@ -55,6 +55,11 @@ pub struct MqDispatch {
     /// Round-robin cursor into `queues`.
     rr: usize,
     occ: QueueOccupancy,
+    /// Total requests ever staged (observability; never read back by
+    /// dispatch policy).
+    submitted: u64,
+    /// High watermark of `occ.staged` (observability).
+    staged_peak: u32,
 }
 
 impl MqDispatch {
@@ -67,12 +72,26 @@ impl MqDispatch {
                 depth,
                 ..Default::default()
             },
+            submitted: 0,
+            staged_peak: 0,
         }
     }
 
     /// Requests staged in software queues.
     pub fn staged(&self) -> usize {
         self.occ.staged as usize
+    }
+
+    /// Total requests ever staged through [`MqDispatch::submit`].
+    pub fn submitted_total(&self) -> u64 {
+        self.submitted
+    }
+
+    /// High watermark of simultaneously staged requests — how deep the
+    /// software queues ever got before the pump drained them (profiler
+    /// occupancy reporting).
+    pub fn staged_peak(&self) -> u32 {
+        self.staged_peak
     }
 
     /// The live occupancy picture.
@@ -92,6 +111,10 @@ impl MqDispatch {
             }
         }
         self.occ.staged += 1;
+        self.submitted += 1;
+        if self.occ.staged > self.staged_peak {
+            self.staged_peak = self.occ.staged;
+        }
     }
 
     /// Take the next staged request, round-robin across processes.
@@ -188,5 +211,22 @@ mod tests {
     fn empty_pop_is_none() {
         let mut mq = MqDispatch::new(1);
         assert!(mq.pop_next().is_none());
+    }
+
+    #[test]
+    fn staged_peak_holds_the_high_watermark() {
+        let mut mq = MqDispatch::new(4);
+        mq.submit(req(1, 10));
+        mq.submit(req(2, 11));
+        mq.submit(req(3, 10));
+        assert_eq!(mq.staged_peak(), 3);
+        mq.pop_next();
+        mq.pop_next();
+        mq.submit(req(4, 12));
+        // Draining does not lower the watermark; resubmitting below it
+        // does not raise it.
+        assert_eq!(mq.staged_peak(), 3);
+        assert_eq!(mq.submitted_total(), 4);
+        assert_eq!(mq.staged(), 2);
     }
 }

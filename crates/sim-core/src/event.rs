@@ -7,6 +7,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::prof::{self, Phase, Profiler};
 use crate::time::SimTime;
 
 /// An event scheduled for a future instant, carrying a caller-defined
@@ -60,6 +61,9 @@ pub struct EventQueue<E> {
     seq: u64,
     popped: u64,
     late: u64,
+    /// Self-profiler plane; `None` (the default) keeps push/pop free of
+    /// profiling branches beyond a single `Option` check.
+    prof: Option<Profiler>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -77,7 +81,16 @@ impl<E> EventQueue<E> {
             seq: 0,
             popped: 0,
             late: 0,
+            prof: None,
         }
+    }
+
+    /// Install a self-profiler: heap pushes and pops are timed (phases
+    /// [`Phase::EventPush`] / [`Phase::EventPop`]) and the queue depth
+    /// is sampled after each. Profiling reads wall-clock time only; it
+    /// never changes what the queue returns.
+    pub fn set_profiler(&mut self, p: Profiler) {
+        self.prof = Some(p);
     }
 
     /// Current simulated time (timestamp of the last popped event).
@@ -127,7 +140,12 @@ impl<E> EventQueue<E> {
         let time = time.max(self.now);
         let seq = self.seq;
         self.seq += 1;
+        let t0 = prof::tick(&self.prof);
         self.heap.push(HeapEntry { time, seq, payload });
+        prof::tock(&self.prof, Phase::EventPush, t0);
+        if let Some(p) = &self.prof {
+            p.sample_depth(self.heap.len());
+        }
     }
 
     /// Timestamp of the next event, if any.
@@ -137,7 +155,12 @@ impl<E> EventQueue<E> {
 
     /// Pop the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        let t0 = prof::tick(&self.prof);
         let entry = self.heap.pop()?;
+        prof::tock(&self.prof, Phase::EventPop, t0);
+        if let Some(p) = &self.prof {
+            p.sample_depth(self.heap.len());
+        }
         self.now = entry.time;
         self.popped += 1;
         Some(ScheduledEvent {
@@ -174,6 +197,24 @@ mod tests {
         }
         let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn profiler_observes_without_changing_order() {
+        use crate::prof::{Phase, Profiler};
+        let p = Profiler::new();
+        p.set_enabled(true);
+        let mut q = EventQueue::new();
+        q.set_profiler(p.clone());
+        q.schedule(SimTime::from_nanos(30), "c");
+        q.schedule(SimTime::from_nanos(10), "a");
+        q.schedule(SimTime::from_nanos(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"], "profiling must not reorder");
+        let s = p.snapshot();
+        assert_eq!(s.phases[Phase::EventPush as usize].calls, 3);
+        assert_eq!(s.phases[Phase::EventPop as usize].calls, 3);
+        assert_eq!(s.depth_max, 3);
     }
 
     #[test]

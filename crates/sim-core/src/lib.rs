@@ -9,11 +9,18 @@
 //!
 //! Everything here is deliberately free of real I/O and wall-clock time so
 //! that a simulation run is a pure function of its configuration and seed.
+//! The one sanctioned exception is the self-profiler ([`prof`]) and the
+//! feature-gated counting allocator ([`alloc_count`]): both *read*
+//! wall-clock time or allocator traffic as a host-side side channel but
+//! never feed anything back into simulation state, so results stay a
+//! pure function of config and seed with or without them.
 
+pub mod alloc_count;
 pub mod causes;
 pub mod error;
 pub mod event;
 pub mod ids;
+pub mod prof;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -22,6 +29,7 @@ pub use causes::CauseSet;
 pub use error::{IoError, IoErrorKind, IoResult};
 pub use event::{EventQueue, ScheduledEvent};
 pub use ids::{BlockNo, FileId, IdAlloc, KernelId, Pid, RequestId, TxnId};
+pub use prof::{Phase, ProfSnapshot, Profiler};
 pub use rng::{stream_seed, SimRng};
 pub use time::{SimDuration, SimTime};
 

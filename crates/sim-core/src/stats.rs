@@ -145,6 +145,11 @@ impl Percentiles {
         self.p(99.0)
     }
 
+    /// 99.9th percentile (SLO tail reporting).
+    pub fn p999(&self) -> f64 {
+        self.p(99.9)
+    }
+
     /// Sample size.
     pub fn len(&self) -> usize {
         self.sorted.len()
@@ -307,6 +312,15 @@ mod tests {
         assert_eq!(percentile(&xs, 100.0), 100.0);
         assert_eq!(percentile(&xs, 0.0), 1.0);
         assert_eq!(percentile(&[], 50.0), 0.0);
+        // p999 distinguishes the extreme tail once the sample is big
+        // enough for the nearest rank to move past p99.
+        let big: Vec<f64> = (1..=10_000).map(|i| i as f64).collect();
+        let ps = Percentiles::new(big);
+        // Nearest-rank with binary 0.99/0.999 can land one rank high.
+        assert!((9900.0..=9901.0).contains(&ps.p99()), "{}", ps.p99());
+        assert!((9990.0..=9991.0).contains(&ps.p999()), "{}", ps.p999());
+        assert!(ps.p999() > ps.p99());
+        assert_eq!(Percentiles::new(vec![]).p999(), 0.0);
     }
 
     #[test]

@@ -97,10 +97,43 @@ pub fn run(cfg: &Config) -> FigResult {
 /// harness divides this by wall-clock time to report events/second for
 /// the serial path (`None`) against queued depths.
 pub fn bench_events(queue_depth: Option<u32>) -> u64 {
+    bench_run(queue_depth).events
+}
+
+/// What one quick write-burst run hands the bench harness: the event
+/// count (throughput) plus every completed fsync latency (simulated-SLO
+/// percentiles). Deterministic for a fixed `queue_depth`.
+#[derive(Debug, Clone)]
+pub struct BenchRun {
+    /// Events the world processed.
+    pub events: u64,
+    /// Completed fsync latencies, milliseconds, in completion order.
+    /// Empty for this workload (the burst writer never fsyncs); the
+    /// `check` bench target supplies fsync-heavy programs.
+    pub fsync_ms: Vec<f64>,
+}
+
+/// Run one quick CFQ write-burst and collect [`BenchRun`] measurements.
+pub fn bench_run(queue_depth: Option<u32>) -> BenchRun {
     let cfg = fig01_write_burst::Config::quick();
-    let (mut w, _k, _a) = fig01_write_burst::build_burst_world(&cfg, SchedChoice::Cfq, queue_depth);
+    let (mut w, k, _a) = fig01_write_burst::build_burst_world(&cfg, SchedChoice::Cfq, queue_depth);
     w.run_for(cfg.duration);
-    w.events_processed()
+    let mut fsync_ms: Vec<f64> = Vec::new();
+    let stats = &w.kernel(k).stats;
+    let mut pids: Vec<_> = stats.procs.keys().copied().collect();
+    pids.sort_unstable();
+    for pid in pids {
+        fsync_ms.extend(
+            stats.procs[&pid]
+                .fsyncs
+                .iter()
+                .map(|(_, d)| d.as_millis_f64()),
+        );
+    }
+    BenchRun {
+        events: w.events_processed(),
+        fsync_ms,
+    }
 }
 
 impl std::fmt::Display for FigResult {

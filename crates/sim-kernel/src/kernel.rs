@@ -7,6 +7,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use sim_block::{Dispatch, IoPrio, MqDispatch, PrioClass, QueueOccupancy, ReqKind, Request};
 use sim_cache::{CacheConfig, PageCache};
 use sim_check::{AuditCheckpoint, AuditEvent, AuditPlane};
+use sim_core::prof::{self, Phase, Profiler};
 use sim_core::stats::TimeSeries;
 use sim_core::{
     CauseSet, FileId, IdAlloc, IoError, IoErrorKind, KernelId, Pid, RequestId, SimDuration,
@@ -326,6 +327,11 @@ pub struct Kernel {
     /// Invariant auditors, if installed (same opt-in contract as the
     /// fault plane).
     audit: Option<AuditPlane>,
+    /// Self-profiler plane, picked up from the thread at construction
+    /// (see [`sim_core::prof::install_thread`]). `None` (the default)
+    /// keeps hot paths free of profiling beyond one `Option` check;
+    /// when present it only reads wall-clock time, never sim state.
+    prof: Option<Profiler>,
 }
 
 impl Kernel {
@@ -381,6 +387,7 @@ impl Kernel {
             tracer,
             fault_plane: None,
             audit,
+            prof: prof::thread_profiler(),
         }
     }
 
@@ -647,7 +654,9 @@ impl Kernel {
             }
             Event::FsTimer { .. } => {
                 let now = bus.q.now();
+                let t0 = prof::tick(&self.prof);
                 let out = self.fs.timer(&mut self.cache, now);
+                prof::tock(&self.prof, Phase::Journal, t0);
                 self.absorb(out, bus);
                 bus.q
                     .schedule(self.fs.next_timer(now), Event::FsTimer { k: self.id });
@@ -850,7 +859,9 @@ impl Kernel {
                 let first = offset / PAGE_SIZE;
                 let last = (offset + len.max(1) - 1) / PAGE_SIZE;
                 for page in first..=last {
+                    let t0 = prof::tick(&self.prof);
                     let ev = self.cache.dirty_page(file, page, &causes, now);
+                    prof::tock(&self.prof, Phase::Cache, t0);
                     let block = self.fs.allocated_block(file, page);
                     let bd = BufferDirtied {
                         file,
@@ -875,7 +886,9 @@ impl Kernel {
                 let first = offset / PAGE_SIZE;
                 let last = (offset + len.max(1) - 1) / PAGE_SIZE;
                 let npages = last - first + 1;
+                let t0 = prof::tick(&self.prof);
                 let misses = self.cache.read_misses(file, first, npages);
+                prof::tock(&self.prof, Phase::Cache, t0);
                 let cpu = costs.syscall_base
                     + SimDuration::from_nanos(costs.per_page_copy.as_nanos() * npages);
                 if misses.is_empty() {
@@ -946,7 +959,9 @@ impl Kernel {
                 }
             }
             SyscallKind::Fsync { file } => {
+                let t0 = prof::tick(&self.prof);
                 let out = self.fs.fsync(file, pid, &mut self.cache, now);
+                prof::tock(&self.prof, Phase::Journal, t0);
                 self.procs.get_mut(&pid).expect("exists").state = PState::IoWait;
                 self.absorb(out, bus);
             }
@@ -1290,6 +1305,21 @@ impl Kernel {
     /// Drain staged requests into free hardware-queue slots, then turn
     /// whatever the device moved into service into DES completions.
     fn pump_queued(&mut self, bus: &mut Bus) {
+        // Sample occupancy before (staged backlog) and after (what the
+        // pump pushed into flight), so the profiler's high watermarks
+        // see both sides of the drain.
+        if let (Some(p), ActiveDevice::Queued { dev, mq }) = (&self.prof, &self.device) {
+            p.sample_mq(mq.staged(), dev.in_flight());
+        }
+        let t0 = prof::tick(&self.prof);
+        self.pump_queued_inner(bus);
+        prof::tock(&self.prof, Phase::MqPump, t0);
+        if let (Some(p), ActiveDevice::Queued { dev, mq }) = (&self.prof, &self.device) {
+            p.sample_mq(mq.staged(), dev.in_flight());
+        }
+    }
+
+    fn pump_queued_inner(&mut self, bus: &mut Bus) {
         let now = bus.q.now();
         loop {
             let (req, slot, started, in_flight, depth) = {
@@ -1531,6 +1561,7 @@ impl Kernel {
         }
         self.wb_active = true;
         let now = bus.q.now();
+        let t0 = prof::tick(&self.prof);
         let out = self.fs.writeback(
             None,
             self.cfg.wb_batch_pages,
@@ -1538,15 +1569,18 @@ impl Kernel {
             &mut self.cache,
             now,
         );
+        prof::tock(&self.prof, Phase::Writeback, t0);
         self.absorb(out, bus);
     }
 
     /// Explicit writeback trigger (scheduler `StartWriteback` command).
     fn scheduled_writeback(&mut self, file: Option<FileId>, max_pages: u64, bus: &mut Bus) {
         let now = bus.q.now();
+        let t0 = prof::tick(&self.prof);
         let out = self
             .fs
             .writeback(file, max_pages, self.writeback_pid, &mut self.cache, now);
+        prof::tock(&self.prof, Phase::Writeback, t0);
         self.absorb(out, bus);
     }
 
@@ -1582,6 +1616,7 @@ impl Kernel {
         f: impl FnOnce(&mut dyn IoSched, &mut SchedCtx<'_>) -> R,
     ) -> R {
         let now = bus.q.now();
+        let t0 = prof::tick(&self.prof);
         let (r, cmds) = {
             let sched = self.sched.as_mut();
             let dev = self.device.peek();
@@ -1593,6 +1628,7 @@ impl Kernel {
             let cmds = ctx.drain();
             (r, cmds)
         };
+        prof::tock(&self.prof, Phase::Sched, t0);
         self.apply_cmds(cmds, bus);
         r
     }

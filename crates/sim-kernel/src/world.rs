@@ -126,11 +126,18 @@ impl Default for World {
 }
 
 impl World {
-    /// An empty world at t = 0.
+    /// An empty world at t = 0. If a self-profiler is installed on the
+    /// current thread (see [`sim_core::prof::install_thread`]) the event
+    /// queue picks it up; profiling observes wall-clock time only and
+    /// never changes simulation output.
     pub fn new() -> Self {
+        let mut q = EventQueue::new();
+        if let Some(p) = sim_core::prof::thread_profiler() {
+            q.set_profiler(p);
+        }
         World {
             bus: Bus {
-                q: EventQueue::new(),
+                q,
                 app_events: Vec::new(),
                 cross: Vec::new(),
             },

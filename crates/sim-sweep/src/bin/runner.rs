@@ -38,6 +38,21 @@
 //! hardware queue depth N instead of the legacy serial device. Exit code
 //! 1 on any violation.
 //!
+//! `profile FIGURE` runs one figure with the DES self-profiler on,
+//! prints the per-phase wall-clock table, and writes
+//! `results/profile_<fig>.{json,csv}`. Profiling reads host time only;
+//! the figure's simulated output is byte-identical to an unprofiled
+//! run.
+//!
+//! `bench` runs the standard panel (fig01, fig01_qd at depths 1/8/32,
+//! a `check` fuzz batch) `--reps` times each and writes
+//! `BENCH_<git-sha>.json` under `--out` (default `results/bench`). If a
+//! committed baseline exists (`--baseline`, default
+//! `BENCH_baseline.json`) the run is compared against it and exit code
+//! 1 signals an events/sec regression beyond 15% outside the CIs.
+//! `UPDATE_BASELINE=1` rewrites the baseline instead of comparing.
+//! Build with `--features alloc-count` to include peak allocations.
+//!
 //! Unknown targets or flags are an error: usage goes to stderr and the
 //! exit code is 2, so a misspelled `fig99` can't silently run nothing
 //! and exit 0.
@@ -46,7 +61,11 @@ use sim_experiments as exp;
 
 use exp::registry::{FigureId, Profile};
 use exp::setup::{DeviceChoice, SchedChoice};
-use sim_sweep::{run_check, run_figures_with, run_replay, run_sweep, CheckConfig, SweepSpec};
+use sim_core::alloc_count;
+use sim_core::prof::{self, Phase, Profiler};
+use sim_sweep::{
+    bench_batch, run_check, run_figures_with, run_replay, run_sweep, CheckConfig, SweepSpec,
+};
 
 const USAGE: &str = "\
 usage: runner [--paper] [--csv] [--trace] [--faults] [--jobs N] [TARGET...]
@@ -54,10 +73,13 @@ usage: runner [--paper] [--csv] [--trace] [--faults] [--jobs N] [TARGET...]
                     [--sched NAME]... [--device NAME]... [--paper]
        runner check [--programs N] [--jobs N] [--root-seed N] [--shrink]
                     [--queue-depth N] [--replay FILE]
+       runner profile FIGURE [--paper]
+       runner bench [--reps N] [--check-programs N] [--root-seed N]
+                    [--out DIR] [--baseline FILE]
 
 targets: fig01 fig03 fig05 fig06 fig09 fig10 fig11 fig12 fig13 fig14
          fig15 fig16 fig17 fig18 fig19 fig20 fig21 ablations breakdown
-         faults all sweep check
+         faults all sweep check profile bench
 scheds:  noop cfq block-deadline scs-token afq split-deadline
          split-pdflush split-token split-noop
 devices: hdd ssd";
@@ -115,6 +137,10 @@ struct Cli {
     queue_depth: Option<u32>,
     shrink: bool,
     replay: Option<String>,
+    reps: Option<usize>,
+    check_programs: Option<usize>,
+    out: Option<String>,
+    baseline: Option<String>,
     scheds: Vec<SchedChoice>,
     devices: Vec<DeviceChoice>,
     targets: Vec<String>,
@@ -186,6 +212,28 @@ fn parse_cli(args: &[String]) -> Cli {
                 let v = value(&mut it, "--replay", inline);
                 cli.replay = Some(v);
             }
+            "--reps" => {
+                let v = value(&mut it, "--reps", inline);
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => cli.reps = Some(n),
+                    _ => die(&format!("invalid --reps value: {v}")),
+                }
+            }
+            "--check-programs" => {
+                let v = value(&mut it, "--check-programs", inline);
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => cli.check_programs = Some(n),
+                    _ => die(&format!("invalid --check-programs value: {v}")),
+                }
+            }
+            "--out" => {
+                let v = value(&mut it, "--out", inline);
+                cli.out = Some(v);
+            }
+            "--baseline" => {
+                let v = value(&mut it, "--baseline", inline);
+                cli.baseline = Some(v);
+            }
             "--sched" => {
                 let v = value(&mut it, "--sched", inline);
                 match parse_sched(&v) {
@@ -203,7 +251,10 @@ fn parse_cli(args: &[String]) -> Cli {
             f if f.starts_with("--") => die(&format!("unknown flag: {f}")),
             name => {
                 let known = FigureId::parse(name).is_some()
-                    || matches!(name, "all" | "faults" | "sweep" | "check");
+                    || matches!(
+                        name,
+                        "all" | "faults" | "sweep" | "check" | "profile" | "bench"
+                    );
                 if !known {
                     die(&format!("unknown target: {name}"));
                 }
@@ -319,9 +370,157 @@ fn check_main(cli: &Cli) {
     }
 }
 
+/// One fig01 write-burst panel entry at a given queue depth.
+fn burst_target(name: &'static str, depth: Option<u32>) -> bench::BenchTarget {
+    bench::BenchTarget {
+        name,
+        run: Box::new(move || {
+            let r = exp::fig01_qd::bench_run(depth);
+            bench::RunOutput {
+                events: r.events,
+                fsync_ms: r.fsync_ms,
+            }
+        }),
+    }
+}
+
+fn bench_main(cli: &Cli) {
+    let reps = cli.reps.unwrap_or(5);
+    let programs = cli.check_programs.unwrap_or(3);
+    let root_seed = cli.root_seed;
+    let targets = vec![
+        burst_target("fig01", None),
+        burst_target("fig01_qd_d1", Some(1)),
+        burst_target("fig01_qd_d8", Some(8)),
+        burst_target("fig01_qd_d32", Some(32)),
+        bench::BenchTarget {
+            name: "check",
+            run: Box::new(move || {
+                let b = bench_batch(programs, root_seed);
+                bench::RunOutput {
+                    events: b.events,
+                    fsync_ms: b.fsync_ms,
+                }
+            }),
+        },
+    ];
+    eprintln!(
+        "bench: {} target(s) x {reps} rep(s), check batch of {programs} program(s), root seed {root_seed}",
+        targets.len()
+    );
+    let report = bench::run_panel(&targets, reps, bench::git_sha());
+    print!("{}", report.render());
+    let out_dir = cli.out.as_deref().unwrap_or("results/bench");
+    write_result(
+        out_dir,
+        &format!("BENCH_{}.json", report.git_sha),
+        &report.to_json(),
+    );
+
+    let baseline = cli.baseline.as_deref().unwrap_or("BENCH_baseline.json");
+    if std::env::var("UPDATE_BASELINE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
+        match std::fs::write(baseline, report.to_json()) {
+            Ok(()) => eprintln!("wrote baseline {baseline}"),
+            Err(e) => die(&format!("cannot write {baseline}: {e}")),
+        }
+        return;
+    }
+    match std::fs::read_to_string(baseline) {
+        Err(_) => {
+            eprintln!("bench: no baseline at {baseline}; set UPDATE_BASELINE=1 to record one");
+        }
+        Ok(text) => {
+            let doc = sim_trace::json::parse(&text)
+                .unwrap_or_else(|e| die(&format!("bad baseline {baseline}: {e}")));
+            let cmp = bench::compare(&report, &doc);
+            print!("{}", cmp.render());
+            if !cmp.passed() {
+                eprintln!("bench: FAIL — events/sec regression vs {baseline}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn profile_main(cli: &Cli) {
+    let figs: Vec<&String> = cli.targets.iter().filter(|t| *t != "profile").collect();
+    let name = match figs.as_slice() {
+        [one] => one.as_str(),
+        _ => die("profile expects exactly one figure target"),
+    };
+    let fig = FigureId::parse(name)
+        .unwrap_or_else(|| die(&format!("profile expects a figure target, got: {name}")));
+    let profile = if cli.paper {
+        Profile::Paper
+    } else {
+        Profile::Quick
+    };
+
+    let p = Profiler::new();
+    p.set_enabled(true);
+    prof::install_thread(&p);
+    let t0 = std::time::Instant::now();
+    // jobs=1 keeps the figure on this thread, so every world it builds
+    // picks up the installed profiler.
+    let outputs = run_figures_with(&[fig], profile, 0, 1, false, false);
+    let wall_s = t0.elapsed().as_secs_f64();
+    prof::uninstall_thread();
+    let snap = p.snapshot();
+    let alloc = alloc_count::snapshot();
+
+    for out in &outputs {
+        print!("{}", out.summary);
+    }
+    print!("{}", bench::render_profile(fig.name(), &snap, &alloc));
+    // Every pop is one processed event, summed across the figure's worlds.
+    let events = snap
+        .phases
+        .iter()
+        .find(|ps| ps.phase == Phase::EventPop)
+        .map(|ps| ps.calls)
+        .unwrap_or(0);
+    // The counters also ride the standard metrics plumbing: export into
+    // a Registry and write its summary CSV next to the JSON sidecar.
+    let mut reg = sim_trace::Registry::new();
+    sim_trace::export_profile(&mut reg, &snap);
+    write_result(
+        "results",
+        &format!("profile_{}.csv", fig.name()),
+        &reg.summary_csv(),
+    );
+    write_result(
+        "results",
+        &format!("profile_{}.json", fig.name()),
+        &bench::profile_json(fig.name(), &snap, &alloc, events, wall_s),
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = parse_cli(&args);
+
+    let bench_mode = cli.targets.iter().any(|t| t == "bench");
+    if !bench_mode
+        && (cli.reps.is_some()
+            || cli.check_programs.is_some()
+            || cli.out.is_some()
+            || cli.baseline.is_some())
+    {
+        die("--reps/--check-programs/--out/--baseline only apply to the bench target");
+    }
+    if bench_mode {
+        if cli.targets.len() > 1 {
+            die("bench does not combine with other targets");
+        }
+        if cli.paper || cli.csv || cli.trace || cli.faults || cli.jobs.is_some() {
+            die("bench does not combine with --paper/--csv/--trace/--faults/--jobs");
+        }
+        bench_main(&cli);
+        return;
+    }
 
     if cli.targets.iter().any(|t| t == "check") {
         if cli.faults || cli.trace || cli.csv || cli.paper {
@@ -335,6 +534,14 @@ fn main() {
     }
     if cli.queue_depth.is_some() {
         die("--queue-depth only applies to the check target");
+    }
+
+    if cli.targets.iter().any(|t| t == "profile") {
+        if cli.csv || cli.trace || cli.faults || cli.jobs.is_some() {
+            die("profile does not combine with --csv/--trace/--faults/--jobs");
+        }
+        profile_main(&cli);
+        return;
     }
 
     if cli.targets.iter().any(|t| t == "sweep") {

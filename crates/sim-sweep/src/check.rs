@@ -84,6 +84,12 @@ pub struct RunOutcome {
     /// the queued-device equivalence test compares these to assert that
     /// queue depth 1 is byte-identical to the serial device plane.
     pub fingerprint: String,
+    /// Events the world processed (the bench harness's unit of work).
+    pub events: u64,
+    /// Completed fsync latencies, milliseconds, ordered by pid then
+    /// completion (deterministic; feeds the bench report's SLO
+    /// percentiles).
+    pub fsync_ms: Vec<f64>,
 }
 
 /// Render the counters that must match between a serial-device run and a
@@ -299,11 +305,25 @@ fn run_inner(
             "program failed to quiesce within {QUIESCE_CAP_SECS} simulated seconds"
         ));
     }
+    let stats = &w.kernel(k).stats;
+    let mut fsync_ms: Vec<f64> = Vec::new();
+    let mut pids: Vec<_> = stats.procs.keys().copied().collect();
+    pids.sort();
+    for pid in pids {
+        fsync_ms.extend(
+            stats.procs[&pid]
+                .fsyncs
+                .iter()
+                .map(|(_, d)| d.as_millis_f64()),
+        );
+    }
     RunOutcome {
         per_proc: sinks.into_iter().map(|s| s.take()).collect(),
         violations,
-        io_errors: w.kernel(k).stats.io_errors,
-        fingerprint: fingerprint(&w.kernel(k).stats),
+        io_errors: stats.io_errors,
+        fingerprint: fingerprint(stats),
+        events: w.events_processed(),
+        fsync_ms,
     }
 }
 
@@ -345,6 +365,36 @@ pub fn check_program_qd(spec: &ProgramSpec, queue_depth: Option<u32>) -> Vec<Str
         }
     }
     problems
+}
+
+/// What one `bench check` batch measured: total DES events across the
+/// full scheduler × device matrix plus every completed fsync latency.
+#[derive(Debug, Clone)]
+pub struct BenchBatch {
+    /// Events processed, summed over all runs in the batch.
+    pub events: u64,
+    /// Fsync latencies (ms) from every run, in matrix order.
+    pub fsync_ms: Vec<f64>,
+}
+
+/// Run `programs` generated programs through the full
+/// [`ALL_SCHEDS`] × [`ALL_DEVICES`] matrix as a bench workload:
+/// deterministic for a fixed `root_seed`, heavy on fsyncs (generated
+/// programs sync), and exercising every scheduler's decision path.
+pub fn bench_batch(programs: usize, root_seed: u64) -> BenchBatch {
+    let mut events = 0u64;
+    let mut fsync_ms = Vec::new();
+    for idx in 0..programs as u64 {
+        let spec = generate(&mut SimRng::stream(root_seed, idx), &GenConfig::default());
+        for &device in &ALL_DEVICES {
+            for &sched in &ALL_SCHEDS {
+                let r = run_inner(&spec, sched, device, None, None, None);
+                events += r.events;
+                fsync_ms.extend(r.fsync_ms);
+            }
+        }
+    }
+    BenchBatch { events, fsync_ms }
 }
 
 /// `runner check` parameters.

@@ -18,8 +18,8 @@ pub mod spec;
 
 pub use aggregate::{aggregate, MetricRow, SweepReport};
 pub use check::{
-    check_program, check_program_qd, run_check, run_one, run_one_faulted, run_one_queued,
-    run_replay, CheckConfig, CheckReport,
+    bench_batch, check_program, check_program_qd, run_check, run_one, run_one_faulted,
+    run_one_queued, run_replay, BenchBatch, CheckConfig, CheckReport,
 };
 pub use drive::{run_figures, run_figures_with, run_sweep};
 pub use executor::run_indexed;

@@ -48,6 +48,158 @@ fn single_figure_runs_and_prints_its_table() {
 }
 
 #[test]
+fn bench_and_profile_reject_unknown_flags_with_exit_2() {
+    for args in [
+        &["bench", "--frobnicate"][..],
+        &["profile", "fig01", "--frobnicate"][..],
+    ] {
+        let out = runner().args(args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "args: {args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("unknown flag: --frobnicate"), "{stderr}");
+        assert!(stderr.contains("usage:"), "{stderr}");
+    }
+}
+
+#[test]
+fn bench_flags_outside_bench_and_bad_combinations_exit_2() {
+    for args in [
+        // bench-only flags leaking onto other targets
+        &["fig01", "--reps", "2"][..],
+        &["check", "--out", "somewhere"][..],
+        // profile needs exactly one figure
+        &["profile"][..],
+        &["profile", "fig01", "fig03"][..],
+        &["profile", "check"][..],
+        // bench stands alone
+        &["bench", "fig01"][..],
+        &["bench", "--paper"][..],
+        &["bench", "--reps", "0"][..],
+    ] {
+        let out = runner().args(args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "args: {args:?}");
+    }
+}
+
+#[test]
+fn profile_prints_the_phase_table_and_matches_an_unprofiled_run() {
+    let tmp = std::env::temp_dir().join(format!("sim-prof-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).unwrap();
+    let profiled = runner()
+        .current_dir(&tmp)
+        .args(["profile", "fig03"])
+        .output()
+        .unwrap();
+    assert_eq!(
+        profiled.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&profiled.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&profiled.stdout);
+    assert!(stdout.contains("profile: fig03"), "{stdout}");
+    assert!(stdout.contains("event_pop"), "{stdout}");
+
+    // The profiler is host-side only: the figure's simulated output must
+    // be byte-identical to a run without it.
+    let plain = runner().arg("fig03").output().unwrap();
+    let plain_stdout = String::from_utf8_lossy(&plain.stdout);
+    let table = stdout.split("profile: fig03").next().unwrap();
+    assert_eq!(table, plain_stdout, "profiling must not perturb the sim");
+
+    // Sidecars: JSON parses and carries the phase map; CSV comes from
+    // the metrics Registry.
+    let json = std::fs::read_to_string(tmp.join("results/profile_fig03.json")).unwrap();
+    let doc = sim_trace::json::parse(&json).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(|v| v.as_str()),
+        Some("profile-v1")
+    );
+    assert!(doc.get("phases").and_then(|v| v.get("sched")).is_some());
+    let csv = std::fs::read_to_string(tmp.join("results/profile_fig03.csv")).unwrap();
+    assert!(csv.contains("prof.sched.calls"), "{csv}");
+
+    std::fs::remove_dir_all(&tmp).ok();
+}
+
+#[test]
+fn bench_writes_parseable_panel_json_and_baseline_round_trips() {
+    let tmp = std::env::temp_dir().join(format!("sim-bench-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).unwrap();
+    let common = [
+        "bench",
+        "--reps",
+        "1",
+        "--check-programs",
+        "1",
+        "--out",
+        "results/bench",
+        "--baseline",
+        "baseline.json",
+    ];
+
+    // First run: no baseline yet — still exits 0 and writes the report.
+    let out = runner()
+        .current_dir(&tmp)
+        .env("BENCH_GIT_SHA", "cafe")
+        .args(common)
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no baseline"));
+    let json = std::fs::read_to_string(tmp.join("results/bench/BENCH_cafe.json")).unwrap();
+    let doc = sim_trace::json::parse(&json).unwrap();
+    assert_eq!(doc.get("schema").and_then(|v| v.as_str()), Some("bench-v1"));
+    let targets = doc.get("targets").unwrap();
+    for name in [
+        "fig01",
+        "fig01_qd_d1",
+        "fig01_qd_d8",
+        "fig01_qd_d32",
+        "check",
+    ] {
+        let t = targets
+            .get(name)
+            .unwrap_or_else(|| panic!("missing {name}"));
+        assert!(t.get("events").and_then(|v| v.as_u64()).unwrap() > 0);
+        assert!(t
+            .get("events_per_sec")
+            .and_then(|v| v.get("mean"))
+            .is_some());
+        assert!(t.get("phases").and_then(|v| v.get("event_pop")).is_some());
+        assert!(t.get("fsync_ms").and_then(|v| v.get("p99")).is_some());
+    }
+
+    // Record a baseline, then compare against it: same binary, same
+    // deterministic event counts — no model-shift warnings, exit 0.
+    let rec = runner()
+        .current_dir(&tmp)
+        .env("UPDATE_BASELINE", "1")
+        .args(common)
+        .output()
+        .unwrap();
+    assert_eq!(rec.status.code(), Some(0));
+    assert!(tmp.join("baseline.json").exists());
+    let cmp = runner().current_dir(&tmp).args(common).output().unwrap();
+    let stdout = String::from_utf8_lossy(&cmp.stdout);
+    assert!(
+        stdout.contains("ok: fig01") || stdout.contains("REGRESSION"),
+        "comparison must be printed: {stdout}"
+    );
+    assert!(
+        !stdout.contains("model shift"),
+        "event counts are deterministic: {stdout}"
+    );
+
+    std::fs::remove_dir_all(&tmp).ok();
+}
+
+#[test]
 fn sweep_writes_csv_and_json_under_results_sweeps() {
     let tmp = std::env::temp_dir().join(format!("sim-sweep-cli-{}", std::process::id()));
     std::fs::create_dir_all(&tmp).unwrap();

@@ -29,6 +29,19 @@ pub fn escape_json(s: &str) -> String {
     out
 }
 
+/// Render an `f64` as a JSON number. Rust's `Display` for finite
+/// floats is already valid JSON (digits, optional `-`/`.`, no
+/// exponent), but `NaN`/`inf` would come out as bare words and corrupt
+/// the document — a poisoned gauge (e.g. a mean over zero samples)
+/// must not take the whole trace down with it, so those pin to `0`.
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
 fn micros(t: SimTime) -> f64 {
     t.as_nanos() as f64 / 1000.0
 }
@@ -107,9 +120,10 @@ pub fn chrome_json(
             events.push((
                 t.as_nanos(),
                 format!(
-                    r#"{{"name":"{}","ph":"C","ts":{:.3},"pid":{process},"tid":0,"args":{{"value":{v}}}}}"#,
+                    r#"{{"name":"{}","ph":"C","ts":{:.3},"pid":{process},"tid":0,"args":{{"value":{}}}}}"#,
                     escape_json(name),
                     micros(t),
+                    json_num(v),
                 ),
             ));
         }
@@ -188,6 +202,41 @@ mod tests {
     fn escape_handles_specials() {
         assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn chrome_json_round_trips_hostile_names_and_values() {
+        // Gauge names with quotes/backslashes/control chars must come
+        // back intact through a real parse, and non-finite values must
+        // not corrupt the document.
+        let hostile = "sched.\"q\\u\\o\\t'd\"\ttokens/3\n";
+        let mut reg = Registry::new();
+        reg.gauge(hostile, SimTime::from_nanos(1_000), f64::NAN);
+        reg.gauge(hostile, SimTime::from_nanos(2_000), f64::INFINITY);
+        reg.gauge(hostile, SimTime::from_nanos(3_000), -2.5);
+        let json = chrome_json(7, &[], &HashMap::new(), &reg);
+        let doc = crate::json::parse(&json).expect("exporter emits parseable JSON");
+        let events = doc.get("traceEvents").and_then(|v| v.as_arr()).unwrap();
+        let counters: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("C"))
+            .collect();
+        assert_eq!(counters.len(), 3);
+        for c in &counters {
+            assert_eq!(c.get("name").and_then(|n| n.as_str()), Some(hostile));
+        }
+        let values: Vec<f64> = counters
+            .iter()
+            .map(|c| {
+                c.get("args")
+                    .unwrap()
+                    .get("value")
+                    .unwrap()
+                    .as_f64()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(values, vec![0.0, 0.0, -2.5], "non-finite pins to 0");
     }
 
     #[test]

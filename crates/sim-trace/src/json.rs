@@ -1,8 +1,10 @@
-//! A minimal JSON well-formedness checker (RFC 8259 grammar, no value
-//! tree). The exporters hand-roll their JSON, so tests use this to
-//! prove the output parses without pulling a JSON crate into the
-//! offline build. It is a validator, not a parser: it walks the bytes
-//! once and reports the first syntax error with its offset.
+//! A minimal JSON well-formedness checker and value parser (RFC 8259
+//! grammar). The exporters hand-roll their JSON, so tests use
+//! [`validate`] to prove the output parses without pulling a JSON
+//! crate into the offline build, and the bench harness uses [`parse`]
+//! to read committed baselines back. [`validate`] walks the bytes once
+//! and reports the first syntax error with its offset; [`parse`]
+//! builds a [`Value`] tree on top of the same grammar.
 
 /// Validate that `s` is a single well-formed JSON value.
 pub fn validate(s: &str) -> Result<(), String> {
@@ -17,6 +19,91 @@ pub fn validate(s: &str) -> Result<(), String> {
         return Err(format!("trailing data at byte {}", p.i));
     }
     Ok(())
+}
+
+/// A parsed JSON value. Objects keep their keys in document order;
+/// lookups are linear scans, which is fine at the sizes the harness
+/// reads (bench reports, trace documents in tests).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string, with escapes decoded.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in document order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member `key` of an object; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Parse `s` into a single [`Value`] tree.
+pub fn parse(s: &str) -> Result<Value, String> {
+    // Validate first: the tree builder can then assume well-formed
+    // input, keeping it simple, and callers get the checker's precise
+    // byte-offset errors.
+    validate(s)?;
+    let mut p = Checker {
+        b: s.as_bytes(),
+        i: 0,
+    };
+    p.ws();
+    p.parse_value()
 }
 
 struct Checker<'a> {
@@ -190,11 +277,211 @@ impl Checker<'_> {
         }
         Ok(())
     }
+
+    // ---- value-tree building --------------------------------------------
+    // These run on input [`validate`] already accepted, so they only
+    // need to follow the grammar, not re-diagnose errors.
+
+    fn parse_value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b't') => {
+                self.literal("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.literal("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'n') => {
+                self.literal("null")?;
+                Ok(Value::Null)
+            }
+            _ => self.parse_number(),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Value::Obj(members));
+        }
+        loop {
+            self.ws();
+            let key = self.parse_string()?;
+            self.ws();
+            self.expect(b':')?;
+            self.ws();
+            let val = self.parse_value()?;
+            members.push((key, val));
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                _ => {
+                    self.expect(b'}')?;
+                    return Ok(Value::Obj(members));
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut elems = Vec::new();
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Value::Arr(elems));
+        }
+        loop {
+            self.ws();
+            elems.push(self.parse_value()?);
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                _ => {
+                    self.expect(b']')?;
+                    return Ok(Value::Arr(elems));
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // High surrogate: pair with a following
+                                // \uXXXX low surrogate if present.
+                                if self.b[self.i + 1..].starts_with(b"\\u") {
+                                    self.i += 2;
+                                    let lo = self.hex4()?;
+                                    let code = 0x10000
+                                        + ((hi - 0xD800) << 10)
+                                        + (lo.wrapping_sub(0xDC00) & 0x3FF);
+                                    char::from_u32(code).unwrap_or('\u{FFFD}')
+                                } else {
+                                    '\u{FFFD}'
+                                }
+                            } else {
+                                char::from_u32(hi).unwrap_or('\u{FFFD}')
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through verbatim.
+                    let rest = &self.b[self.i..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Four hex digits after `\u`; leaves `self.i` on the last digit
+    /// (the caller's shared `+= 1` steps past it).
+    fn hex4(&mut self) -> Result<u32, String> {
+        let s = self
+            .b
+            .get(self.i + 1..self.i + 5)
+            .ok_or_else(|| self.err("bad \\u escape"))?;
+        let s = std::str::from_utf8(s).map_err(|_| self.err("bad \\u escape"))?;
+        let code = u32::from_str_radix(s, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.i += 4;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, String> {
+        let start = self.i;
+        self.number()?;
+        let s = std::str::from_utf8(&self.b[start..self.i]).expect("ascii number");
+        s.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|e| format!("unparseable number {s:?}: {e}"))
+    }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::validate;
+    use super::{parse, validate, Value};
+
+    #[test]
+    fn parse_builds_the_value_tree() {
+        let v = parse(r#"{"a":[1,2.5,-3e2],"b":{"c":null,"d":true},"s":"x"}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[1].as_f64(), Some(2.5));
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[2].as_f64(),
+            Some(-300.0)
+        );
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Value::Null));
+        assert_eq!(v.get("b").unwrap().get("d"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.as_obj().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn parse_decodes_escapes() {
+        let v = parse(r#""a\"b\\c\n\tAé""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\n\tA\u{e9}"));
+        // Surrogate pair: U+1F600 as 😀.
+        let v = parse(r#""😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F600}"));
+        // ... and as an escaped \u surrogate pair.
+        let v = parse(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F600}"));
+        // Lone high surrogate degrades to the replacement char.
+        let v = parse(r#""\ud83dx""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{FFFD}x"));
+        // Raw multi-byte UTF-8 passes through.
+        let v = parse("\"héllo\"").unwrap();
+        assert_eq!(v.as_str(), Some("héllo"));
+    }
+
+    #[test]
+    fn parse_rejects_what_validate_rejects() {
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("[1,]").is_err());
+    }
+
+    #[test]
+    fn as_u64_requires_a_nonnegative_integer() {
+        assert_eq!(parse("42").unwrap().as_u64(), Some(42));
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+        assert_eq!(parse("1.5").unwrap().as_u64(), None);
+    }
 
     #[test]
     fn accepts_valid_documents() {

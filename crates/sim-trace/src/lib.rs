@@ -28,11 +28,13 @@ pub mod breakdown;
 pub mod chrome;
 pub mod json;
 pub mod metrics;
+pub mod prof_export;
 pub mod span;
 pub mod tracer;
 
 pub use block::{RequestTrace, TraceRecord};
 pub use breakdown::{fsync_breakdown, layer_totals, FsyncBreakdown, FSYNC_COMPONENTS};
 pub use metrics::{Histogram, Registry};
+pub use prof_export::export_profile;
 pub use span::{slot_name, Layer, SpanId, SpanRecord};
 pub use tracer::Tracer;

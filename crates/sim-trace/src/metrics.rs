@@ -20,6 +20,7 @@ pub struct Histogram {
     count: u64,
     sum_ms: f64,
     max_ms: f64,
+    dropped: u64,
 }
 
 impl Default for Histogram {
@@ -29,23 +30,36 @@ impl Default for Histogram {
             count: 0,
             sum_ms: 0.0,
             max_ms: 0.0,
+            dropped: 0,
         }
     }
 }
 
 impl Histogram {
-    /// Record one observation.
+    /// Record one observation. Non-finite values would poison `sum_ms`
+    /// and every derived mean, so they are dropped and counted instead
+    /// (see [`Histogram::dropped`]). Counters saturate rather than
+    /// wrap: a metrics plane must never panic the run it observes.
     pub fn observe_ms(&mut self, ms: f64) {
+        if !ms.is_finite() {
+            self.dropped = self.dropped.saturating_add(1);
+            return;
+        }
         let idx = LATENCY_BUCKETS_MS
             .iter()
             .position(|&b| ms <= b)
             .unwrap_or(LATENCY_BUCKETS_MS.len());
-        self.counts[idx] += 1;
-        self.count += 1;
+        self.counts[idx] = self.counts[idx].saturating_add(1);
+        self.count = self.count.saturating_add(1);
         self.sum_ms += ms;
         if ms > self.max_ms {
             self.max_ms = ms;
         }
+    }
+
+    /// Observations discarded for being non-finite.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Total observations.
@@ -119,10 +133,11 @@ impl Registry {
         Self::default()
     }
 
-    /// Add `delta` to counter `name`, creating it at zero.
+    /// Add `delta` to counter `name`, creating it at zero. Saturates at
+    /// `u64::MAX` instead of overflowing.
     pub fn add(&mut self, name: &str, delta: u64) {
         if let Some(v) = self.counters.get_mut(name) {
-            *v += delta;
+            *v = v.saturating_add(delta);
         } else {
             self.counters.insert(name.to_string(), delta);
         }
@@ -263,6 +278,42 @@ mod tests {
         assert!(csv.contains("counter,block.dispatched,5"));
         assert!(csv.contains("histogram,syscall.fsync_ms,1"));
         assert!(r.gauges_csv().contains("cache.dirty_pages,"));
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        let mut r = Registry::new();
+        r.add("c", u64::MAX - 1);
+        r.add("c", 5);
+        assert_eq!(r.counter("c"), u64::MAX);
+
+        let mut h = Histogram::default();
+        h.counts[0] = u64::MAX;
+        h.count = u64::MAX;
+        h.observe_ms(0.01);
+        assert_eq!(h.count(), u64::MAX, "saturates, no panic in debug");
+    }
+
+    #[test]
+    fn non_finite_observations_are_dropped_and_counted() {
+        let mut h = Histogram::default();
+        h.observe_ms(f64::NAN);
+        h.observe_ms(f64::INFINITY);
+        h.observe_ms(f64::NEG_INFINITY);
+        h.observe_ms(1.0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.dropped(), 3);
+        assert!((h.mean_ms() - 1.0).abs() < 1e-12, "mean stays finite");
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_defined() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_ms(0.0), 0.0);
+        assert_eq!(h.quantile_ms(0.5), 0.0);
+        assert_eq!(h.quantile_ms(1.0), 0.0);
+        assert_eq!(h.mean_ms(), 0.0);
+        assert_eq!(h.max_ms(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,49 @@
+//! Fold a [`ProfSnapshot`](sim_core::prof::ProfSnapshot) into a
+//! [`Registry`], so the self-profiler's host-side numbers travel
+//! through the same export paths (summary CSV, Chrome JSON) as the
+//! simulated-clock metrics. The profiler reads wall-clock time, so
+//! unlike every other registry entry these values differ run to run —
+//! they are kept under a distinct `prof.` prefix and must never be
+//! part of a golden comparison.
+
+use crate::metrics::Registry;
+use sim_core::prof::ProfSnapshot;
+use sim_core::SimTime;
+
+/// Export `snap` into `reg` under the `prof.` prefix: per-phase
+/// `prof.<phase>.calls` / `prof.<phase>.nanos` counters plus event
+/// queue and MQ occupancy gauges (stamped at `t = 0`; the profiler has
+/// no simulated timeline).
+pub fn export_profile(reg: &mut Registry, snap: &ProfSnapshot) {
+    for ps in &snap.phases {
+        reg.add(&format!("prof.{}.calls", ps.phase.name()), ps.calls);
+        reg.add(&format!("prof.{}.nanos", ps.phase.name()), ps.nanos);
+    }
+    let t0 = SimTime::ZERO;
+    reg.gauge("prof.queue.depth_max", t0, snap.depth_max as f64);
+    reg.gauge("prof.queue.depth_mean", t0, snap.depth_mean);
+    reg.gauge("prof.mq.staged_max", t0, snap.mq_staged_max as f64);
+    reg.gauge("prof.mq.inflight_max", t0, snap.mq_inflight_max as f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::prof::{Phase, Profiler};
+
+    #[test]
+    fn exports_phases_and_gauges() {
+        let p = Profiler::new();
+        p.set_enabled(true);
+        let t0 = p.start().unwrap();
+        p.record(Phase::Sched, t0);
+        p.sample_depth(17);
+        let mut reg = Registry::new();
+        export_profile(&mut reg, &p.snapshot());
+        assert_eq!(reg.counter("prof.sched.calls"), 1);
+        assert_eq!(reg.counter("prof.event_push.calls"), 0);
+        let depth = reg.gauge_series("prof.queue.depth_max");
+        assert_eq!(depth.len(), 1);
+        assert_eq!(depth[0].1, 17.0);
+    }
+}
