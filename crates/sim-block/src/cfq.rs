@@ -15,9 +15,9 @@
 //!   CFQ briefly waits for the same task to issue its next request instead
 //!   of immediately seeking away.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
-use sim_core::{BlockNo, Pid, SimDuration, SimTime};
+use sim_core::{BlockNo, FastMap, Pid, SimDuration, SimTime};
 use sim_device::DiskModel;
 
 use crate::sorted::SortedQueue;
@@ -62,7 +62,7 @@ struct CfqQueue {
 /// The CFQ elevator.
 pub struct Cfq {
     cfg: CfqConfig,
-    queues: HashMap<QueueKey, CfqQueue>,
+    queues: FastMap<QueueKey, CfqQueue>,
     /// Round-robin service order per class (RT, BE, Idle).
     rr: [VecDeque<QueueKey>; 3],
     active: Option<QueueKey>,
@@ -98,7 +98,7 @@ impl Cfq {
         );
         Cfq {
             cfg,
-            queues: HashMap::new(),
+            queues: FastMap::default(),
             rr: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
             active: None,
             slice_end: SimTime::ZERO,

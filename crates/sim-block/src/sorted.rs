@@ -2,7 +2,7 @@
 //! selection — the building block of CFQ's per-queue ordering and
 //! Block-Deadline's sorted lists.
 
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 use sim_core::{BlockNo, RequestId};
 
@@ -11,9 +11,19 @@ use crate::Request;
 /// Requests ordered by starting block; pops the next request at or after a
 /// sweep position, wrapping to the lowest block when the sweep passes the
 /// end (C-SCAN).
+///
+/// Requests live in a recycled slab; ordering is a deque of slab indices
+/// sorted by `(start, id)`. The common traffic shapes — writeback floods
+/// whose delayed allocation hands out ascending blocks, and a C-SCAN sweep
+/// that drains from the low end — hit the deque's O(1) ends, and the
+/// retained capacity means a warmed-up queue allocates nothing.
 #[derive(Debug, Default)]
 pub struct SortedQueue {
-    by_block: BTreeMap<(BlockNo, RequestId), Request>,
+    /// `(start, id, slab index)` sorted ascending — keys are inline so the
+    /// binary search never chases into the slab.
+    order: VecDeque<(BlockNo, RequestId, u32)>,
+    slab: Vec<Option<Request>>,
+    free: Vec<u32>,
 }
 
 impl SortedQueue {
@@ -22,55 +32,96 @@ impl SortedQueue {
         Self::default()
     }
 
+    /// Position of the first entry with key `>= key`, in `[0, len]`.
+    fn lower_bound(&self, key: (BlockNo, RequestId)) -> usize {
+        self.order.partition_point(|&(b, id, _)| (b, id) < key)
+    }
+
     /// Insert a request.
     pub fn insert(&mut self, req: Request) {
-        self.by_block.insert((req.start, req.id), req);
+        let key = (req.start, req.id);
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slab[i as usize] = Some(req);
+                i
+            }
+            None => {
+                self.slab.push(Some(req));
+                // Keep the free list's capacity ahead of the slab: every
+                // slab index may eventually be retired through `free.push`,
+                // and growing here (insert side, warmup) instead of there
+                // (drain side) is what keeps a draining queue
+                // allocation-free long after its high-water mark.
+                self.free.reserve(self.slab.len() - self.free.len());
+                (self.slab.len() - 1) as u32
+            }
+        };
+        let at = self.lower_bound(key);
+        self.order.insert(at, (key.0, key.1, i));
     }
 
     /// Number of queued requests.
     pub fn len(&self) -> usize {
-        self.by_block.len()
+        self.order.len()
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.by_block.is_empty()
+        self.order.is_empty()
+    }
+
+    /// Index into `order` of the next request at or after `pos`, wrapping
+    /// around to the lowest block (C-SCAN).
+    fn cscan_at(&self, pos: BlockNo) -> Option<usize> {
+        if self.order.is_empty() {
+            return None;
+        }
+        let at = self.lower_bound((pos, RequestId(0)));
+        Some(if at == self.order.len() { 0 } else { at })
     }
 
     /// Peek the next request at or after `pos`, wrapping around.
     pub fn peek_cscan(&self, pos: BlockNo) -> Option<&Request> {
-        self.by_block
-            .range((pos, RequestId(0))..)
-            .next()
-            .or_else(|| self.by_block.iter().next())
-            .map(|(_, r)| r)
+        let at = self.cscan_at(pos)?;
+        self.slab[self.order[at].2 as usize].as_ref()
     }
 
     /// Pop the next request at or after `pos`, wrapping around.
     pub fn pop_cscan(&mut self, pos: BlockNo) -> Option<Request> {
-        let key = *self
-            .by_block
-            .range((pos, RequestId(0))..)
-            .next()
-            .or_else(|| self.by_block.iter().next())?
-            .0;
-        self.by_block.remove(&key)
+        let at = self.cscan_at(pos)?;
+        self.take_at(at)
     }
 
     /// Pop the lowest-addressed request.
     pub fn pop_first(&mut self) -> Option<Request> {
-        let key = *self.by_block.keys().next()?;
-        self.by_block.remove(&key)
+        if self.order.is_empty() {
+            return None;
+        }
+        self.take_at(0)
     }
 
     /// Remove a specific request by id and start block.
     pub fn remove(&mut self, start: BlockNo, id: RequestId) -> Option<Request> {
-        self.by_block.remove(&(start, id))
+        let at = self.lower_bound((start, id));
+        match self.order.get(at) {
+            Some(&(b, rid, _)) if (b, rid) == (start, id) => self.take_at(at),
+            _ => None,
+        }
+    }
+
+    fn take_at(&mut self, at: usize) -> Option<Request> {
+        let (_, _, i) = self.order.remove(at)?;
+        self.free.push(i);
+        self.slab[i as usize].take()
     }
 
     /// Iterate in block order.
     pub fn iter(&self) -> impl Iterator<Item = &Request> {
-        self.by_block.values()
+        self.order.iter().map(|&(_, _, i)| {
+            self.slab[i as usize]
+                .as_ref()
+                .expect("indexed slot is live")
+        })
     }
 }
 

@@ -1,8 +1,16 @@
 //! Dirty-page tracking with per-page cause tags.
+//!
+//! The store is split into two structures per file: an ordered *index* of
+//! 64-page occupancy bitmasks (`BTreeMap<chunk, u64>`) and a flat payload
+//! map from page to its cause tags. The write burst of a throttling
+//! experiment dirties tens of thousands of random pages; keeping the
+//! ordered structure down to one 16-byte word per 64-page chunk makes
+//! those inserts cheap, while `take_ranges` still walks pages in
+//! ascending order straight off the bitmasks.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
-use sim_core::{CauseSet, FileId, SimTime, PAGE_SIZE};
+use sim_core::{CauseSet, FastMap, FileId, SimTime, PAGE_SIZE};
 
 use crate::tagmem::TagMem;
 
@@ -45,11 +53,42 @@ impl PageRange {
     }
 }
 
+/// Dirty state of one file: bitmask index + per-page tag payload.
+#[derive(Debug, Default)]
+struct FileDirty {
+    /// Chunk index (`page >> 6`) to 64-page occupancy bitmask, ordered so
+    /// writeback can take the lowest pages first.
+    chunks: BTreeMap<u64, u64>,
+    /// Page to cause tags / dirty time.
+    pages: FastMap<u64, DirtyPage>,
+}
+
+impl FileDirty {
+    /// Append `[page]`'s payload to `out`, coalescing with the previous
+    /// range when contiguous.
+    fn pull_into(&mut self, page: u64, tagmem: &mut TagMem, out: &mut Vec<PageRange>) {
+        let dp = self.pages.remove(&page).expect("bitmask and payload agree");
+        tagmem.free(dp.causes.heap_bytes());
+        match out.last_mut() {
+            Some(r) if r.start_page + r.len == page => {
+                r.len += 1;
+                r.causes.union_with(&dp.causes);
+                r.oldest = r.oldest.min(dp.dirtied_at);
+            }
+            _ => out.push(PageRange {
+                start_page: page,
+                len: 1,
+                causes: dp.causes,
+                oldest: dp.dirtied_at,
+            }),
+        }
+    }
+}
+
 /// Per-file dirty page index.
 #[derive(Debug, Default)]
 pub struct DirtyStore {
-    files: HashMap<FileId, BTreeMap<u64, DirtyPage>>,
-    /// (first-dirty time, file) for oldest-first writeback selection.
+    files: FastMap<FileId, FileDirty>,
     total: u64,
 }
 
@@ -68,17 +107,38 @@ impl DirtyStore {
     /// incrementally maintained counter. Auditors cross-check this against
     /// [`DirtyStore::total`]; any divergence means a bookkeeping bug.
     pub fn audit_sum(&self) -> u64 {
-        self.files.values().map(|m| m.len() as u64).sum()
+        self.files
+            .values()
+            .map(|f| {
+                let by_mask: u64 = f.chunks.values().map(|m| m.count_ones() as u64).sum();
+                debug_assert_eq!(by_mask, f.pages.len() as u64, "index/payload divergence");
+                f.pages.len() as u64
+            })
+            .sum()
     }
 
     /// Dirty pages of one file.
     pub fn pages_of(&self, file: FileId) -> u64 {
-        self.files.get(&file).map(|m| m.len() as u64).unwrap_or(0)
+        self.files
+            .get(&file)
+            .map(|f| f.pages.len() as u64)
+            .unwrap_or(0)
     }
 
     /// Whether a specific page is dirty.
     pub fn contains(&self, file: FileId, page: u64) -> bool {
-        self.files.get(&file).is_some_and(|m| m.contains_key(&page))
+        self.files
+            .get(&file)
+            .is_some_and(|f| f.pages.contains_key(&page))
+    }
+
+    /// Prefetched per-file probe: resolves the file once, then answers
+    /// per-page dirtiness without re-hashing the file id (the read-miss
+    /// scan asks about every page of a syscall range).
+    pub fn file_view(&self, file: FileId) -> DirtyFileView<'_> {
+        DirtyFileView {
+            file: self.files.get(&file),
+        }
     }
 
     /// Mark one page dirty for `causes`.
@@ -90,8 +150,8 @@ impl DirtyStore {
         now: SimTime,
         tagmem: &mut TagMem,
     ) -> DirtyEvent {
-        let file_map = self.files.entry(file).or_default();
-        match file_map.get_mut(&page) {
+        let f = self.files.entry(file).or_default();
+        match f.pages.get_mut(&page) {
             Some(dp) => {
                 let prev = dp.causes.clone();
                 tagmem.free(dp.causes.heap_bytes());
@@ -105,13 +165,14 @@ impl DirtyStore {
             }
             None => {
                 tagmem.alloc(causes.heap_bytes());
-                file_map.insert(
+                f.pages.insert(
                     page,
                     DirtyPage {
                         causes: causes.clone(),
                         dirtied_at: now,
                     },
                 );
+                *f.chunks.entry(page >> 6).or_insert(0) |= 1u64 << (page & 63);
                 self.total += 1;
                 DirtyEvent {
                     prev: None,
@@ -125,36 +186,52 @@ impl DirtyStore {
     /// Remove up to `max` pages of `file`, lowest page first, coalesced
     /// into contiguous ranges.
     pub fn take_ranges(&mut self, file: FileId, max: u64, tagmem: &mut TagMem) -> Vec<PageRange> {
-        let Some(file_map) = self.files.get_mut(&file) else {
+        let Some(f) = self.files.get_mut(&file) else {
             return Vec::new();
         };
-        let mut taken: Vec<(u64, DirtyPage)> = Vec::new();
-        while (taken.len() as u64) < max {
-            let Some((&p, _)) = file_map.iter().next() else {
+        let mut out = Vec::new();
+        let mut left = max;
+        while left > 0 {
+            let Some((&chunk, &chunk_mask)) = f.chunks.iter().next() else {
                 break;
             };
-            let dp = file_map.remove(&p).expect("just observed");
-            tagmem.free(dp.causes.heap_bytes());
-            taken.push((p, dp));
+            let mut mask = chunk_mask;
+            while mask != 0 && left > 0 {
+                let bit = mask.trailing_zeros();
+                mask &= !(1u64 << bit);
+                left -= 1;
+                f.pull_into(chunk * 64 + bit as u64, tagmem, &mut out);
+            }
+            if mask == 0 {
+                f.chunks.remove(&chunk);
+            } else {
+                // `max` ran out mid-chunk; the leftover bits stay behind.
+                *f.chunks.get_mut(&chunk).expect("chunk present") = mask;
+            }
         }
-        self.total -= taken.len() as u64;
-        if file_map.is_empty() {
+        self.total -= max - left;
+        if f.pages.is_empty() {
             self.files.remove(&file);
         }
-        coalesce(taken)
+        out
     }
 
     /// Remove every dirty page of `file`, returning the avoided ranges.
     pub fn free_file(&mut self, file: FileId, tagmem: &mut TagMem) -> Vec<PageRange> {
-        let Some(file_map) = self.files.remove(&file) else {
+        let Some(mut f) = self.files.remove(&file) else {
             return Vec::new();
         };
-        self.total -= file_map.len() as u64;
-        let taken: Vec<(u64, DirtyPage)> = file_map.into_iter().collect();
-        for (_, dp) in &taken {
-            tagmem.free(dp.causes.heap_bytes());
+        self.total -= f.pages.len() as u64;
+        let mut out = Vec::new();
+        let chunks = std::mem::take(&mut f.chunks);
+        for (chunk, mut mask) in chunks {
+            while mask != 0 {
+                let bit = mask.trailing_zeros();
+                mask &= !(1u64 << bit);
+                f.pull_into(chunk * 64 + bit as u64, tagmem, &mut out);
+            }
         }
-        coalesce(taken)
+        out
     }
 
     /// Files with dirty pages, ordered by their oldest dirty page.
@@ -162,13 +239,14 @@ impl DirtyStore {
         let mut v: Vec<(SimTime, FileId)> = self
             .files
             .iter()
-            .map(|(f, m)| {
-                let oldest = m
+            .map(|(id, f)| {
+                let oldest = f
+                    .pages
                     .values()
                     .map(|d| d.dirtied_at)
                     .min()
                     .unwrap_or(SimTime::MAX);
-                (oldest, *f)
+                (oldest, *id)
             })
             .collect();
         v.sort_unstable();
@@ -176,24 +254,25 @@ impl DirtyStore {
     }
 }
 
-fn coalesce(taken: Vec<(u64, DirtyPage)>) -> Vec<PageRange> {
-    let mut out: Vec<PageRange> = Vec::new();
-    for (p, dp) in taken {
-        match out.last_mut() {
-            Some(r) if r.start_page + r.len == p => {
-                r.len += 1;
-                r.causes.union_with(&dp.causes);
-                r.oldest = r.oldest.min(dp.dirtied_at);
-            }
-            _ => out.push(PageRange {
-                start_page: p,
-                len: 1,
-                causes: dp.causes,
-                oldest: dp.dirtied_at,
-            }),
-        }
+/// Read-only dirtiness probe for one file (see [`DirtyStore::file_view`]).
+pub struct DirtyFileView<'a> {
+    file: Option<&'a FileDirty>,
+}
+
+impl DirtyFileView<'_> {
+    /// Whether `page` is dirty.
+    #[inline]
+    pub fn contains(&self, page: u64) -> bool {
+        self.file.is_some_and(|f| f.pages.contains_key(&page))
     }
-    out
+
+    /// Whether the file has no dirty pages at all. Range scans check this
+    /// once to skip the per-page [`DirtyFileView::contains`] probes (a
+    /// hash each) on files that are only ever read.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.file.is_none_or(|f| f.pages.is_empty())
+    }
 }
 
 #[cfg(test)]
@@ -228,6 +307,21 @@ mod tests {
         assert_eq!(ranges.len(), 1);
         assert_eq!(ranges[0].len, 4);
         assert_eq!(s.pages_of(f), 6);
+    }
+
+    #[test]
+    fn take_ranges_crosses_chunk_boundaries() {
+        let mut s = DirtyStore::new();
+        let mut tm = TagMem::new();
+        let f = FileId(1);
+        // A run spanning the 64-page bitmask seam must come out as one range.
+        for p in 60..70 {
+            s.dirty_page(f, p, &CauseSet::of(Pid(1)), SimTime::ZERO, &mut tm);
+        }
+        let ranges = s.take_ranges(f, 100, &mut tm);
+        let spans: Vec<(u64, u64)> = ranges.iter().map(|r| (r.start_page, r.len)).collect();
+        assert_eq!(spans, vec![(60, 10)]);
+        assert_eq!(s.total(), 0);
     }
 
     #[test]

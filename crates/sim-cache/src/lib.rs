@@ -157,28 +157,63 @@ impl PageCache {
     /// MISS (must be read from disk). Hits touch the LRU.
     pub fn read_misses(&mut self, file: FileId, page: u64, len: u64) -> Vec<(u64, u64)> {
         let mut misses = Vec::new();
+        self.read_misses_into(file, page, len, &mut misses);
+        misses
+    }
+
+    /// [`PageCache::read_misses`] into a caller-owned buffer (cleared
+    /// first), so the per-syscall read path can reuse one allocation.
+    pub fn read_misses_into(
+        &mut self,
+        file: FileId,
+        page: u64,
+        len: u64,
+        misses: &mut Vec<(u64, u64)>,
+    ) {
+        misses.clear();
+        // Resolve both per-file structures once; the page loop below then
+        // runs hash-free (dirty pages short-circuit so they do not refresh
+        // the clean LRU, exactly as before). On files with no dirty pages
+        // at all — streaming readers — miss stretches are crossed in one
+        // slice walk rather than a probe per page.
+        let dirty = self.dirty.file_view(file);
+        let dirty_empty = dirty.is_empty();
+        let clean_fh = self.clean.file_handle(file);
+        let end = page + len;
         let mut run_start = None;
-        for p in page..page + len {
-            let hit = self.dirty.contains(file, p) || self.clean.touch(file, p);
+        let mut p = page;
+        while p < end {
+            let hit = (!dirty_empty && dirty.contains(p))
+                || match clean_fh {
+                    Some(fh) => self.clean.touch_at(fh, p),
+                    None => false,
+                };
             if hit {
                 if let Some(s) = run_start.take() {
                     misses.push((s, p - s));
                 }
-            } else if run_start.is_none() {
-                run_start = Some(p);
+                p += 1;
+            } else {
+                if run_start.is_none() {
+                    run_start = Some(p);
+                }
+                p += 1;
+                if dirty_empty {
+                    p += match clean_fh {
+                        Some(fh) => self.clean.miss_run_len(fh, p, end - p),
+                        None => end - p,
+                    };
+                }
             }
         }
         if let Some(s) = run_start {
-            misses.push((s, page + len - s));
+            misses.push((s, end - s));
         }
-        misses
     }
 
     /// Install pages after a read completes.
     pub fn fill(&mut self, file: FileId, page: u64, len: u64) {
-        for p in page..page + len {
-            self.clean.insert(file, p);
-        }
+        self.clean.fill_range(file, page, len);
         self.tracer.count("cache.pages_filled", len);
     }
 

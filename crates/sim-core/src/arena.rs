@@ -1,0 +1,325 @@
+//! Index-keyed arenas for hot kernel state.
+//!
+//! The simulator's transient objects — block requests, in-flight I/O
+//! tokens, processes — are keyed by monotonically increasing integer ids
+//! ([`crate::IdAlloc`]). Storing them in `HashMap`s costs a hash + probe
+//! per touch and an allocation per insert. [`IdWindow`] exploits the
+//! monotonic key shape instead: live ids cluster in a bounded window
+//! `[base, base + len)`, so a `VecDeque<Option<V>>` indexed by `id - base`
+//! gives O(1) access with no hashing, and — once the deque has grown to
+//! the steady-state window width — no allocation at all.
+//!
+//! [`Slab`] is the classic free-list arena for values without natural ids;
+//! callers hold `u32` handles instead of boxes.
+
+use std::collections::VecDeque;
+
+/// A map from monotonically increasing `u64` ids to values, backed by a
+/// sliding deque window. Insertions may be in any order, but ids are
+/// expected to trend upward; the window spans the oldest live id to the
+/// newest ever inserted, so keep it bounded by removing finished entries.
+#[derive(Debug, Clone)]
+pub struct IdWindow<V> {
+    base: u64,
+    slots: VecDeque<Option<V>>,
+    len: usize,
+}
+
+impl<V> Default for IdWindow<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> IdWindow<V> {
+    /// An empty window.
+    pub fn new() -> Self {
+        IdWindow {
+            base: 0,
+            slots: VecDeque::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of live entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no entry is live.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert `value` under `id`, returning the previous value if any.
+    pub fn insert(&mut self, id: u64, value: V) -> Option<V> {
+        if self.slots.is_empty() {
+            self.base = id;
+        } else if id < self.base {
+            // Rare: an id below the window (e.g. attrs set for a daemon
+            // pid after user pids exist). Grow the window downward.
+            for _ in id..self.base {
+                self.slots.push_front(None);
+            }
+            self.base = id;
+        }
+        let idx = (id - self.base) as usize;
+        while self.slots.len() <= idx {
+            self.slots.push_back(None);
+        }
+        let prev = self.slots[idx].replace(value);
+        if prev.is_none() {
+            self.len += 1;
+        }
+        prev
+    }
+
+    #[inline]
+    fn idx(&self, id: u64) -> Option<usize> {
+        if id < self.base {
+            return None;
+        }
+        let idx = (id - self.base) as usize;
+        (idx < self.slots.len()).then_some(idx)
+    }
+
+    /// Shared access.
+    #[inline]
+    pub fn get(&self, id: u64) -> Option<&V> {
+        self.idx(id).and_then(|i| self.slots[i].as_ref())
+    }
+
+    /// Exclusive access.
+    #[inline]
+    pub fn get_mut(&mut self, id: u64) -> Option<&mut V> {
+        self.idx(id).and_then(|i| self.slots[i].as_mut())
+    }
+
+    /// Whether `id` is live.
+    #[inline]
+    pub fn contains(&self, id: u64) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Remove and return the value under `id`. Trailing/leading empty
+    /// slots are trimmed from the front so the window tracks the oldest
+    /// live id (keeping memory bounded without reallocating).
+    pub fn remove(&mut self, id: u64) -> Option<V> {
+        let idx = self.idx(id)?;
+        let v = self.slots[idx].take();
+        if v.is_some() {
+            self.len -= 1;
+            // Advance the window past leading holes. Capacity is kept, so
+            // a steady-state insert/remove cycle never allocates.
+            while let Some(None) = self.slots.front() {
+                self.slots.pop_front();
+                self.base += 1;
+            }
+            if self.slots.is_empty() {
+                self.base = 0;
+            }
+        }
+        v
+    }
+
+    /// Iterate `(id, &value)` over live entries in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> + '_ {
+        let base = self.base;
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, s)| s.as_ref().map(|v| (base + i as u64, v)))
+    }
+
+    /// Iterate `(id, &mut value)` over live entries in ascending id order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (u64, &mut V)> + '_ {
+        let base = self.base;
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(move |(i, s)| s.as_mut().map(|v| (base + i as u64, v)))
+    }
+
+    /// Iterate over live values in ascending id order.
+    pub fn values(&self) -> impl Iterator<Item = &V> + '_ {
+        self.slots.iter().filter_map(|s| s.as_ref())
+    }
+
+    /// Iterate over live values (mutably) in ascending id order.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut V> + '_ {
+        self.slots.iter_mut().filter_map(|s| s.as_mut())
+    }
+
+    /// Drop every entry (window capacity is kept).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.base = 0;
+        self.len = 0;
+    }
+}
+
+/// Free-list arena: values live in a `Vec`, callers hold `u32` handles.
+/// Freed slots are recycled, so a steady-state alloc/free cycle touches no
+/// allocator once the arena has reached its high-water mark.
+#[derive(Debug, Clone, Default)]
+pub struct Slab<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of live values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no value is live.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Store `value`, returning its handle.
+    pub fn insert(&mut self, value: T) -> u32 {
+        self.len += 1;
+        match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Some(value);
+                i
+            }
+            None => {
+                self.slots.push(Some(value));
+                (self.slots.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Shared access by handle.
+    #[inline]
+    pub fn get(&self, handle: u32) -> Option<&T> {
+        self.slots.get(handle as usize).and_then(|s| s.as_ref())
+    }
+
+    /// Exclusive access by handle.
+    #[inline]
+    pub fn get_mut(&mut self, handle: u32) -> Option<&mut T> {
+        self.slots.get_mut(handle as usize).and_then(|s| s.as_mut())
+    }
+
+    /// Remove the value behind `handle`, recycling its slot.
+    pub fn remove(&mut self, handle: u32) -> Option<T> {
+        let v = self.slots.get_mut(handle as usize).and_then(|s| s.take());
+        if v.is_some() {
+            self.len -= 1;
+            self.free.push(handle);
+        }
+        v
+    }
+
+    /// Iterate `(handle, &value)` over live values in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &T)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|v| (i as u32, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_window_basic_roundtrip() {
+        let mut w: IdWindow<&str> = IdWindow::new();
+        assert!(w.is_empty());
+        w.insert(10, "a");
+        w.insert(11, "b");
+        w.insert(13, "d");
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.get(10), Some(&"a"));
+        assert_eq!(w.get(12), None);
+        assert!(w.contains(13));
+        assert_eq!(w.remove(11), Some("b"));
+        assert_eq!(w.remove(11), None);
+        assert_eq!(w.len(), 2);
+        let ids: Vec<u64> = w.iter().map(|(i, _)| i).collect();
+        assert_eq!(ids, vec![10, 13]);
+    }
+
+    #[test]
+    fn id_window_advances_base_past_holes() {
+        let mut w: IdWindow<u64> = IdWindow::new();
+        for i in 0..100 {
+            w.insert(i, i);
+        }
+        for i in 0..99 {
+            w.remove(i);
+        }
+        assert_eq!(w.len(), 1);
+        // The window should have slid forward; re-inserting old ids still
+        // works (grows downward).
+        w.insert(42, 42);
+        assert_eq!(w.get(42), Some(&42));
+        assert_eq!(w.get(99), Some(&99));
+    }
+
+    #[test]
+    fn id_window_steady_state_reuses_capacity() {
+        let mut w: IdWindow<u64> = IdWindow::new();
+        // Simulate a bounded in-flight window: insert k, remove k-8.
+        for i in 0..1000u64 {
+            w.insert(i, i);
+            if i >= 8 {
+                assert_eq!(w.remove(i - 8), Some(i - 8));
+            }
+        }
+        assert_eq!(w.len(), 8);
+        let live: Vec<u64> = w.iter().map(|(i, _)| i).collect();
+        assert_eq!(live, (992..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn id_window_below_base_insert() {
+        let mut w: IdWindow<&str> = IdWindow::new();
+        w.insert(10, "user");
+        w.insert(1, "journal");
+        assert_eq!(w.get(1), Some(&"journal"));
+        assert_eq!(w.get(10), Some(&"user"));
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn id_window_overwrite_returns_previous() {
+        let mut w: IdWindow<&str> = IdWindow::new();
+        assert_eq!(w.insert(5, "a"), None);
+        assert_eq!(w.insert(5, "b"), Some("a"));
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn slab_recycles_slots() {
+        let mut s: Slab<String> = Slab::new();
+        let a = s.insert("a".into());
+        let b = s.insert("b".into());
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.remove(a), Some("a".into()));
+        let c = s.insert("c".into());
+        assert_eq!(c, a, "freed slot is reused");
+        assert_eq!(s.get(b).map(|v| v.as_str()), Some("b"));
+        assert_eq!(s.get(c).map(|v| v.as_str()), Some("c"));
+    }
+}

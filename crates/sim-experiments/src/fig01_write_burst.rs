@@ -93,8 +93,9 @@ fn run_one(cfg: &Config, sched: SchedChoice) -> Series {
 /// Build the write-burst world: A streaming reads, B a one-second burst,
 /// B contained per the scheduler's mechanism. `queue_depth` of `None`
 /// keeps the legacy serial device; `Some(d)` runs the queued plane
-/// (shared with the fig01_qd sweep and the dispatch benchmarks).
-pub(crate) fn build_burst_world(
+/// (shared with the fig01_qd sweep, the dispatch benchmarks, and the
+/// zero-allocation steady-state audit).
+pub fn build_burst_world(
     cfg: &Config,
     sched: SchedChoice,
     queue_depth: Option<u32>,

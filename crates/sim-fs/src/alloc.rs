@@ -5,9 +5,7 @@
 //! A `spread` knob scatters the extents of preallocated files to model an
 //! aged disk.
 
-use std::collections::HashMap;
-
-use sim_core::{BlockNo, FileId, SimRng};
+use sim_core::{BlockNo, FastMap, FileId, SimRng};
 
 /// A contiguous run of blocks backing a run of file pages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,7 +31,7 @@ pub struct Allocator {
     next_free: u64,
     capacity: u64,
     reservation_blocks: u64,
-    reservations: HashMap<FileId, (u64, u64)>, // (cursor, end)
+    reservations: FastMap<FileId, (u64, u64)>, // (cursor, end)
     rng: SimRng,
 }
 
@@ -46,7 +44,7 @@ impl Allocator {
             next_free: start,
             capacity,
             reservation_blocks: reservation_blocks.max(1),
-            reservations: HashMap::new(),
+            reservations: FastMap::default(),
             rng: SimRng::seed_from_u64(seed),
         }
     }
@@ -145,6 +143,14 @@ impl ExtentMap {
     /// Extents covering `[page, page+len)`, clipped; holes omitted.
     pub fn extents_for(&self, page: u64, len: u64) -> Vec<Extent> {
         let mut out = Vec::new();
+        self.extents_for_into(page, len, &mut out);
+        out
+    }
+
+    /// [`ExtentMap::extents_for`] into a caller-owned buffer (cleared
+    /// first), so hot flush loops can reuse one allocation.
+    pub fn extents_for_into(&self, page: u64, len: u64, out: &mut Vec<Extent>) {
+        out.clear();
         let end = page + len;
         // Consider the run that may begin before `page` plus all runs
         // starting inside the window.
@@ -167,16 +173,26 @@ impl ExtentMap {
                 len: to - from,
             });
         }
-        out
     }
 
     /// Whether every page of `[page, page+len)` is allocated.
     pub fn fully_allocated(&self, page: u64, len: u64) -> bool {
-        self.extents_for(page, len)
-            .iter()
-            .map(|e| e.len)
-            .sum::<u64>()
-            == len
+        let end = page + len;
+        let start_key = self
+            .runs
+            .range(..=page)
+            .next_back()
+            .map(|(&k, _)| k)
+            .unwrap_or(page);
+        let mut covered = 0;
+        for (&p0, &(_, l0)) in self.runs.range(start_key..end) {
+            let run_end = p0 + l0;
+            if run_end <= page || p0 >= end {
+                continue;
+            }
+            covered += end.min(run_end) - page.max(p0);
+        }
+        covered == len
     }
 }
 

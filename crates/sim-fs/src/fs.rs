@@ -11,13 +11,11 @@
 //!   causes — so metadata-heavy workloads escape split schedulers, exactly
 //!   the Figure 17 result.
 
-use std::collections::{HashMap, HashSet};
-
 use sim_block::ReqKind;
 use sim_cache::PageCache;
 use sim_core::{
-    BlockNo, CauseSet, FileId, IdAlloc, IoError, IoErrorKind, Pid, SimDuration, SimRng, SimTime,
-    TxnId,
+    BlockNo, CauseSet, FastMap, FastSet, FileId, IdAlloc, IoError, IoErrorKind, Pid, SimDuration,
+    SimRng, SimTime, TxnId,
 };
 use sim_device::IoDir;
 use sim_fault::WriteStep;
@@ -103,7 +101,7 @@ enum TokenOwner {
 struct FsyncState {
     file: FileId,
     waiter: Pid,
-    pending_data: HashSet<IoToken>,
+    pending_data: FastSet<IoToken>,
     wait_txn: Option<TxnId>,
     done: bool,
     /// Span covering the data flush this fsync waits for.
@@ -123,13 +121,13 @@ enum CommitPhase {
 struct Commit {
     txn: CommitTxn,
     phase: CommitPhase,
-    pending: HashSet<IoToken>,
+    pending: FastSet<IoToken>,
     span: SpanId,
 }
 
 #[derive(Debug)]
 struct WbPass {
-    pending: HashSet<IoToken>,
+    pending: FastSet<IoToken>,
     pages: u64,
     span: SpanId,
 }
@@ -137,19 +135,19 @@ struct WbPass {
 /// The journaling file system.
 pub struct JournaledFs {
     cfg: FsConfig,
-    inodes: HashMap<FileId, Inode>,
+    inodes: FastMap<FileId, Inode>,
     file_ids: IdAlloc,
     allocator: Allocator,
     journal: Journal,
     commit: Option<Commit>,
     /// Data tokens in flight per file — a commit must wait for these for
     /// its ordered files (data-before-metadata).
-    inflight_data: HashMap<FileId, HashSet<IoToken>>,
+    inflight_data: FastMap<FileId, FastSet<IoToken>>,
     tokens: IdAlloc,
-    owners: HashMap<IoToken, TokenOwner>,
-    fsyncs: HashMap<u64, FsyncState>,
+    owners: FastMap<IoToken, TokenOwner>,
+    fsyncs: FastMap<u64, FsyncState>,
     fsync_ids: IdAlloc,
-    wb_passes: HashMap<u64, WbPass>,
+    wb_passes: FastMap<u64, WbPass>,
     wb_ids: IdAlloc,
     proxies: ProxyRegistry,
     journal_pid: Pid,
@@ -161,6 +159,8 @@ pub struct JournaledFs {
     /// start commits and fails every fsync, as ext4 does after a jbd2
     /// abort. `None` on the (infallible) happy path.
     aborted: Option<IoError>,
+    /// Reusable extent buffer for the flush hot loop.
+    extent_scratch: Vec<Extent>,
 }
 
 /// ext4 preset.
@@ -187,15 +187,15 @@ impl JournaledFs {
             allocator: Allocator::new(256, log_start, cfg.reservation_blocks, cfg.seed),
             journal,
             cfg,
-            inodes: HashMap::new(),
+            inodes: FastMap::default(),
             file_ids: IdAlloc::new(),
             commit: None,
-            inflight_data: HashMap::new(),
+            inflight_data: FastMap::default(),
             tokens: IdAlloc::new(),
-            owners: HashMap::new(),
-            fsyncs: HashMap::new(),
+            owners: FastMap::default(),
+            fsyncs: FastMap::default(),
             fsync_ids: IdAlloc::new(),
-            wb_passes: HashMap::new(),
+            wb_passes: FastMap::default(),
             wb_ids: IdAlloc::new(),
             proxies: ProxyRegistry::new(),
             journal_pid,
@@ -204,6 +204,7 @@ impl JournaledFs {
             last_timer: SimTime::ZERO,
             tracer: Tracer::new(),
             aborted: None,
+            extent_scratch: Vec::new(),
         }
     }
 
@@ -252,11 +253,14 @@ impl JournaledFs {
     ) -> Vec<IoToken> {
         let ranges = cache.take_dirty_ranges(file, max_pages);
         let mut tokens = Vec::new();
+        // Reused across ranges (and calls) so the flush loop stays off the
+        // allocator; taken out of `self` to free the borrow.
+        let mut extents = std::mem::take(&mut self.extent_scratch);
+        self.inodes.entry(file).or_default();
         for range in ranges {
             // Delayed allocation: assign blocks now if the range is new.
             // Allocation dirties shared metadata (bitmap + inode), joining
             // the running transaction on behalf of the range's causes.
-            self.inodes.entry(file).or_default();
             if !self.inodes[&file]
                 .extents
                 .fully_allocated(range.start_page, range.len)
@@ -301,10 +305,10 @@ impl JournaledFs {
             // at 256 blocks (1 MB) per request as Linux caps bio sizes —
             // also what keeps admission control fine-grained.
             const MAX_REQ_BLOCKS: u64 = 256;
-            let extents = self.inodes[&file]
+            self.inodes[&file]
                 .extents
-                .extents_for(range.start_page, range.len);
-            for e in extents {
+                .extents_for_into(range.start_page, range.len, &mut extents);
+            for e in &extents {
                 let mut off = 0;
                 while off < e.len {
                     let chunk = (e.len - off).min(MAX_REQ_BLOCKS);
@@ -331,6 +335,7 @@ impl JournaledFs {
                 }
             }
         }
+        self.extent_scratch = extents;
         tokens
     }
 
@@ -352,7 +357,7 @@ impl JournaledFs {
             now,
         );
         self.tracer.set_arg(commit_span, txn.id.raw());
-        let mut pending: HashSet<IoToken> = HashSet::new();
+        let mut pending: FastSet<IoToken> = FastSet::default();
         // Ordered mode: flush dirty data of every file in the transaction,
         // and also wait for that data's already-in-flight writes.
         for &file in &txn.ordered.clone() {
@@ -364,7 +369,7 @@ impl JournaledFs {
         self.commit = Some(Commit {
             txn,
             phase: CommitPhase::FlushingData,
-            pending: HashSet::new(), // placeholder; set below
+            pending: FastSet::default(), // placeholder; set below
             span: commit_span,
         });
         let mut flush_tokens = Vec::new();
@@ -671,7 +676,7 @@ impl FileSystem for JournaledFs {
         let id = self.fsync_ids.next();
         // fsync must wait for data writes already in flight (e.g. an
         // earlier writeback pass) as well as the ones it issues itself.
-        let mut pending: HashSet<IoToken> = self
+        let mut pending: FastSet<IoToken> = self
             .inflight_data
             .get(&file)
             .map(|s| s.iter().copied().collect())
@@ -992,6 +997,13 @@ impl FileSystem for JournaledFs {
             .get(&file)
             .map(|i| i.extents.extents_for(page, len))
             .unwrap_or_default()
+    }
+
+    fn blocks_for_read_into(&self, file: FileId, page: u64, len: u64, out: &mut Vec<Extent>) {
+        match self.inodes.get(&file) {
+            Some(i) => i.extents.extents_for_into(page, len, out),
+            None => out.clear(),
+        }
     }
 
     fn allocated_block(&self, file: FileId, page: u64) -> Option<BlockNo> {

@@ -6,9 +6,7 @@
 //! write commit record → checkpoint) is orchestrated by
 //! [`crate::fs::JournaledFs`], which owns the I/O tokens.
 
-use std::collections::{HashMap, HashSet};
-
-use sim_core::{BlockNo, CauseSet, FileId, SimDuration, SimTime, TxnId};
+use sim_core::{BlockNo, CauseSet, FastMap, FastSet, FileId, SimDuration, SimTime, TxnId};
 
 /// Identifies a distinct metadata block so that shared metadata joins a
 /// transaction once (Figure 4's shared directory block).
@@ -69,9 +67,9 @@ pub struct CommitTxn {
 #[derive(Debug)]
 struct Running {
     id: TxnId,
-    meta: HashSet<MetaKey>,
+    meta: FastSet<MetaKey>,
     causes: CauseSet,
-    ordered: HashSet<FileId>,
+    ordered: FastSet<FileId>,
     opened_at: Option<SimTime>,
 }
 
@@ -79,9 +77,9 @@ impl Running {
     fn new(id: TxnId) -> Self {
         Running {
             id,
-            meta: HashSet::new(),
+            meta: FastSet::default(),
             causes: CauseSet::empty(),
-            ordered: HashSet::new(),
+            ordered: FastSet::default(),
             opened_at: None,
         }
     }
@@ -97,7 +95,7 @@ pub struct Journal {
     cfg: JournalConfig,
     running: Running,
     /// Which transaction holds each file's most recent metadata.
-    file_txn: HashMap<FileId, TxnId>,
+    file_txn: FastMap<FileId, TxnId>,
     last_committed: Option<TxnId>,
     commit_requested: bool,
     log_cursor: u64,
@@ -109,7 +107,7 @@ impl Journal {
         Journal {
             cfg,
             running: Running::new(TxnId(1)),
-            file_txn: HashMap::new(),
+            file_txn: FastMap::default(),
             last_committed: None,
             commit_requested: false,
             log_cursor: 0,

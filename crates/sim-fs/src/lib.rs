@@ -222,6 +222,13 @@ pub trait FileSystem {
     /// (never-written, never-allocated pages) are omitted.
     fn blocks_for_read(&self, file: FileId, page: u64, len: u64) -> Vec<Extent>;
 
+    /// [`Self::blocks_for_read`] into a caller-owned buffer (cleared
+    /// first), so the kernel's read hot path can reuse one allocation.
+    fn blocks_for_read_into(&self, file: FileId, page: u64, len: u64, out: &mut Vec<Extent>) {
+        out.clear();
+        out.extend(self.blocks_for_read(file, page, len));
+    }
+
     /// Allocated location of one page, if any (`None` under delayed
     /// allocation — feeds the buffer-dirty hook's `block` field).
     fn allocated_block(&self, file: FileId, page: u64) -> Option<BlockNo>;

@@ -2,7 +2,7 @@
 //! file system → block layer → device, with the scheduler's hooks woven
 //! through all of it.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
 use sim_block::{Dispatch, IoPrio, MqDispatch, PrioClass, QueueOccupancy, ReqKind, Request};
 use sim_cache::{CacheConfig, PageCache};
@@ -13,9 +13,10 @@ use sim_core::{
     CauseSet, FileId, IdAlloc, IoError, IoErrorKind, KernelId, Pid, RequestId, SimDuration,
     SimTime, PAGE_SIZE,
 };
+use sim_core::{FastMap, FastSet};
 use sim_device::{DiskModel, HddModel, QueuedDevice, QueuedDeviceConfig, SsdModel};
 use sim_fault::{DeviceFaultPlane, Fault, WriteStep};
-use sim_fs::{FileSystem, FsConfig, FsEvent, FsOutput, IoToken, JournaledFs};
+use sim_fs::{Extent, FileSystem, FsConfig, FsEvent, FsOutput, IoToken, JournaledFs};
 use sim_trace::{slot_name, Layer, RequestTrace, SpanId, Tracer};
 use split_core::{
     BufferDirtied, BufferFreed, Gate, IoSched, SchedAttr, SchedCmd, SchedCtx, SyscallInfo,
@@ -250,7 +251,7 @@ struct CurSyscall {
     entered: SimTime,
     gate_since: Option<SimTime>,
     gated: bool,
-    pending_io: HashSet<RequestId>,
+    pending_io: FastSet<RequestId>,
     /// The syscall-layer span covering this call.
     span: SpanId,
     /// An open gate-wait or dirty-wait child span, if parked.
@@ -301,13 +302,13 @@ pub struct Kernel {
     /// In-flight requests on the queued plane, keyed by id (the device
     /// tracks ordering; this map only parks the request bodies and their
     /// committed service times until completion).
-    q_inflight: HashMap<RequestId, (Request, SimDuration)>,
-    req_meta: HashMap<RequestId, ReqMeta>,
+    q_inflight: FastMap<RequestId, (Request, SimDuration)>,
+    req_meta: FastMap<RequestId, ReqMeta>,
     req_ids: IdAlloc,
     fs: JournaledFs,
     cache: PageCache,
-    procs: HashMap<Pid, Proc>,
-    attrs: HashMap<Pid, ProcAttrs>,
+    procs: FastMap<Pid, Proc>,
+    attrs: FastMap<Pid, ProcAttrs>,
     pid_alloc: u32,
     cpu: CpuModel,
     dirty_waiters: VecDeque<Pid>,
@@ -332,6 +333,17 @@ pub struct Kernel {
     /// keeps hot paths free of profiling beyond one `Option` check;
     /// when present it only reads wall-clock time, never sim state.
     prof: Option<Profiler>,
+    /// Reusable buffers for the read hot path: cache-miss runs and the
+    /// extents backing each run.
+    read_miss_scratch: Vec<(u64, u64)>,
+    read_extent_scratch: Vec<Extent>,
+    /// Recycled allocations for per-syscall / per-hook state: emptied
+    /// `pending_io` sets and `SchedCtx` command buffers go back here and
+    /// come out on the next use with their capacity intact. Pools (not
+    /// single slots) because hook applications nest: `apply_cmds` can
+    /// re-enter `with_sched` while the outer buffer is still out.
+    pending_io_pool: Vec<FastSet<RequestId>>,
+    sched_cmd_pool: Vec<Vec<SchedCmd>>,
 }
 
 impl Kernel {
@@ -368,13 +380,13 @@ impl Kernel {
             sched,
             device,
             inflight: None,
-            q_inflight: HashMap::new(),
-            req_meta: HashMap::new(),
+            q_inflight: FastMap::default(),
+            req_meta: FastMap::default(),
             req_ids: IdAlloc::new(),
             fs,
             cache,
-            procs: HashMap::new(),
-            attrs: HashMap::new(),
+            procs: FastMap::default(),
+            attrs: FastMap::default(),
             pid_alloc: 10,
             cpu: CpuModel::new(cores),
             dirty_waiters: VecDeque::new(),
@@ -388,6 +400,10 @@ impl Kernel {
             fault_plane: None,
             audit,
             prof: prof::thread_profiler(),
+            read_miss_scratch: Vec::new(),
+            read_extent_scratch: Vec::new(),
+            pending_io_pool: Vec::new(),
+            sched_cmd_pool: Vec::new(),
         }
     }
 
@@ -772,7 +788,7 @@ impl Kernel {
                 entered: now,
                 gate_since: None,
                 gated,
-                pending_io: HashSet::new(),
+                pending_io: self.pending_io_pool.pop().unwrap_or_default(),
                 span: SpanId::NONE,
                 wait_span: SpanId::NONE,
                 error: None,
@@ -802,9 +818,11 @@ impl Kernel {
             // (hold-then-release-immediately patterns), and that wake must
             // find the task already parked.
             let (gate, cmds) = {
+                let buf = self.sched_cmd_pool.pop().unwrap_or_default();
                 let sched = self.sched.as_mut();
                 let dev = self.device.peek();
-                let mut ctx = SchedCtx::traced(now, dev, self.tracer.clone());
+                let mut ctx =
+                    SchedCtx::traced(now, dev, self.tracer.clone()).with_commands_buf(buf);
                 if let Some(occ) = self.device.occupancy() {
                     ctx = ctx.with_occupancy(occ);
                 }
@@ -886,12 +904,15 @@ impl Kernel {
                 let first = offset / PAGE_SIZE;
                 let last = (offset + len.max(1) - 1) / PAGE_SIZE;
                 let npages = last - first + 1;
+                let mut misses = std::mem::take(&mut self.read_miss_scratch);
                 let t0 = prof::tick(&self.prof);
-                let misses = self.cache.read_misses(file, first, npages);
+                self.cache
+                    .read_misses_into(file, first, npages, &mut misses);
                 prof::tock(&self.prof, Phase::Cache, t0);
                 let cpu = costs.syscall_base
                     + SimDuration::from_nanos(costs.per_page_copy.as_nanos() * npages);
                 if misses.is_empty() {
+                    self.read_miss_scratch = misses;
                     self.complete_syscall(
                         pid,
                         Outcome::Read {
@@ -905,8 +926,10 @@ impl Kernel {
                 }
                 let rd = self.attrs.get(&pid).and_then(|a| a.read_deadline);
                 let mut issued = false;
-                for (page, plen) in misses {
-                    for e in self.fs.blocks_for_read(file, page, plen) {
+                let mut extents = std::mem::take(&mut self.read_extent_scratch);
+                for &(page, plen) in &misses {
+                    self.fs.blocks_for_read_into(file, page, plen, &mut extents);
+                    for e in &extents {
                         let id = RequestId(self.req_ids.next());
                         let req = Request {
                             id,
@@ -942,6 +965,8 @@ impl Kernel {
                         self.add_request(req, &WriteStep::Untracked, bus);
                     }
                 }
+                self.read_miss_scratch = misses;
+                self.read_extent_scratch = extents;
                 if issued {
                     self.procs.get_mut(&pid).expect("exists").state = PState::IoWait;
                     self.try_dispatch(bus);
@@ -988,6 +1013,9 @@ impl Kernel {
         let (kind, entered, gate_since, gated, span, wait_span) = {
             let proc = self.procs.get_mut(&pid).expect("proc exists");
             let cur = proc.cur.take().expect("syscall in flight");
+            let mut pio = cur.pending_io;
+            pio.clear();
+            self.pending_io_pool.push(pio);
             (
                 cur.kind,
                 cur.entered,
@@ -1618,9 +1646,10 @@ impl Kernel {
         let now = bus.q.now();
         let t0 = prof::tick(&self.prof);
         let (r, cmds) = {
+            let buf = self.sched_cmd_pool.pop().unwrap_or_default();
             let sched = self.sched.as_mut();
             let dev = self.device.peek();
-            let mut ctx = SchedCtx::traced(now, dev, self.tracer.clone());
+            let mut ctx = SchedCtx::traced(now, dev, self.tracer.clone()).with_commands_buf(buf);
             if let Some(occ) = self.device.occupancy() {
                 ctx = ctx.with_occupancy(occ);
             }
@@ -1638,8 +1667,8 @@ impl Kernel {
         self.try_dispatch(bus);
     }
 
-    fn apply_cmds(&mut self, cmds: Vec<SchedCmd>, bus: &mut Bus) {
-        for cmd in cmds {
+    fn apply_cmds(&mut self, mut cmds: Vec<SchedCmd>, bus: &mut Bus) {
+        for cmd in cmds.drain(..) {
             match cmd {
                 SchedCmd::Wake(pid) => self.gate_wake(pid, bus),
                 SchedCmd::Timer(at) => {
@@ -1652,6 +1681,7 @@ impl Kernel {
                 SchedCmd::KickDispatch => self.try_dispatch(bus),
             }
         }
+        self.sched_cmd_pool.push(cmds);
     }
 
     fn gate_wake(&mut self, pid: Pid, bus: &mut Bus) {

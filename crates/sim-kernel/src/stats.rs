@@ -1,9 +1,8 @@
 //! Measurement plumbing: per-process and per-kernel counters the
 //! experiments read after (or during) a run.
 
-use std::collections::HashMap;
-
 use sim_core::stats::TimeSeries;
+use sim_core::FastMap;
 use sim_core::{Pid, SimDuration, SimTime};
 
 /// Per-process counters.
@@ -31,20 +30,20 @@ pub struct ProcStats {
 #[derive(Debug, Default)]
 pub struct KernelStats {
     /// Per-process stats.
-    pub procs: HashMap<Pid, ProcStats>,
+    pub procs: FastMap<Pid, ProcStats>,
     /// Block requests seen, by submitter best-effort priority level
     /// (Figure 3's right panel).
     pub req_prio_hist: [u64; 8],
     /// Disk busy seconds charged to each pid through request cause tags.
-    pub disk_time: HashMap<Pid, f64>,
+    pub disk_time: FastMap<Pid, f64>,
     /// Total block requests dispatched.
     pub requests_dispatched: u64,
     /// Total bytes moved by the device.
     pub device_bytes: u64,
     /// Optional per-pid throughput time series (read-completion bytes).
-    pub read_ts: HashMap<Pid, TimeSeries>,
+    pub read_ts: FastMap<Pid, TimeSeries>,
     /// Optional per-pid write-syscall time series.
-    pub write_ts: HashMap<Pid, TimeSeries>,
+    pub write_ts: FastMap<Pid, TimeSeries>,
     /// Block requests failed by the fault plane.
     pub io_errors: u64,
     /// Journal aborts observed (fault injection).

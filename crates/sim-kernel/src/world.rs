@@ -197,9 +197,26 @@ impl World {
     }
 
     /// How many events were scheduled in the past and clamped to `now`
-    /// (should stay zero; the event-queue auditor reports increases).
+    /// (should stay zero; the event-queue auditor reports increases and
+    /// the check harness's drain gate fails the run).
     pub fn late_schedules(&self) -> u64 {
         self.bus.q.late_schedules()
+    }
+
+    /// Deliberately schedule one app timer behind the clock, tripping
+    /// the late-schedule counter exactly as a buggy release-build caller
+    /// would. Only useful to `runner check --inject-late`, which proves
+    /// the gate turns a nonzero [`World::late_schedules`] into a failed
+    /// run. No-op at t = 0, where no earlier time exists.
+    pub fn inject_late_schedule(&mut self) {
+        let now = self.now();
+        if now == SimTime::ZERO {
+            return;
+        }
+        let past = SimTime::from_nanos(now.as_nanos() - 1);
+        self.bus
+            .q
+            .schedule_unchecked(past, Event::AppTimer { token: u64::MAX });
     }
 
     /// Spawn a workload process on kernel `k`.

@@ -35,8 +35,10 @@
 //! minimizes any failure to a small replayable spec; `--replay FILE`
 //! re-checks a previously printed spec instead of generating.
 //! `--queue-depth N` replays the matrix on the queued-device plane at
-//! hardware queue depth N instead of the legacy serial device. Exit code
-//! 1 on any violation.
+//! hardware queue depth N instead of the legacy serial device.
+//! `--inject-late` plants one deliberately-late event per run, proving
+//! the event-queue late-schedule gate fails the run (the exit code must
+//! be 1 with it, 0 without). Exit code 1 on any violation.
 //!
 //! `profile FIGURE` runs one figure with the DES self-profiler on,
 //! prints the per-phase wall-clock table, and writes
@@ -72,7 +74,7 @@ usage: runner [--paper] [--csv] [--trace] [--faults] [--jobs N] [TARGET...]
        runner sweep [FIGURE...] [--seeds N] [--jobs N] [--root-seed N]
                     [--sched NAME]... [--device NAME]... [--paper]
        runner check [--programs N] [--jobs N] [--root-seed N] [--shrink]
-                    [--queue-depth N] [--replay FILE]
+                    [--queue-depth N] [--inject-late] [--replay FILE]
        runner profile FIGURE [--paper]
        runner bench [--reps N] [--check-programs N] [--root-seed N]
                     [--out DIR] [--baseline FILE]
@@ -135,6 +137,7 @@ struct Cli {
     root_seed: u64,
     programs: Option<usize>,
     queue_depth: Option<u32>,
+    inject_late: bool,
     shrink: bool,
     replay: Option<String>,
     reps: Option<usize>,
@@ -207,6 +210,7 @@ fn parse_cli(args: &[String]) -> Cli {
                     _ => die(&format!("invalid --queue-depth value: {v}")),
                 }
             }
+            "--inject-late" => cli.inject_late = true,
             "--shrink" => cli.shrink = true,
             "--replay" => {
                 let v = value(&mut it, "--replay", inline);
@@ -352,6 +356,7 @@ fn check_main(cli: &Cli) {
                 root_seed: cli.root_seed,
                 shrink: cli.shrink,
                 queue_depth: cli.queue_depth,
+                inject_late: cli.inject_late,
             };
             let plane = match cfg.queue_depth {
                 Some(d) => format!("queued device, depth {d}"),
@@ -534,6 +539,9 @@ fn main() {
     }
     if cli.queue_depth.is_some() {
         die("--queue-depth only applies to the check target");
+    }
+    if cli.inject_late {
+        die("--inject-late only applies to the check target");
     }
 
     if cli.targets.iter().any(|t| t == "profile") {

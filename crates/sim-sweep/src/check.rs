@@ -196,7 +196,7 @@ pub fn run_one(
     device: DeviceChoice,
     sabotage: Option<u64>,
 ) -> RunOutcome {
-    run_inner(spec, sched, device, sabotage, None, None)
+    run_inner(spec, sched, device, sabotage, None, None, false)
 }
 
 /// [`run_one`] on the queued-device plane at hardware queue depth
@@ -209,7 +209,7 @@ pub fn run_one_queued(
     device: DeviceChoice,
     depth: u32,
 ) -> RunOutcome {
-    run_inner(spec, sched, device, None, None, Some(depth))
+    run_inner(spec, sched, device, None, None, Some(depth), false)
 }
 
 /// [`run_one`] with a device fault plan installed — composes the fuzzer
@@ -221,9 +221,12 @@ pub fn run_one_faulted(
     device: DeviceChoice,
     faults: DeviceFaultPlane,
 ) -> RunOutcome {
-    run_inner(spec, sched, device, None, Some(faults), None)
+    run_inner(spec, sched, device, None, Some(faults), None, false)
 }
 
+/// `inject_late` plants one deliberately-late event after the drain (the
+/// `runner check --inject-late` probe): the run must then fail through
+/// both the event-queue auditor and the drain gate.
 fn run_inner(
     spec: &ProgramSpec,
     sched: SchedChoice,
@@ -231,6 +234,7 @@ fn run_inner(
     sabotage: Option<u64>,
     faults: Option<DeviceFaultPlane>,
     queue_depth: Option<u32>,
+    inject_late: bool,
 ) -> RunOutcome {
     let mut setup = Setup::new(sched);
     setup.device = device;
@@ -291,6 +295,9 @@ fn run_inner(
             }
         }
     }
+    if inject_late {
+        w.inject_late_schedule();
+    }
     if quiesced {
         w.audit_quiesce(k);
     }
@@ -303,6 +310,16 @@ fn run_inner(
     if !quiesced {
         violations.push(format!(
             "program failed to quiesce within {QUIESCE_CAP_SECS} simulated seconds"
+        ));
+    }
+    // Drain gate: independent of the auditor plane, a drained run with a
+    // nonzero late-schedule count can never pass — release builds clamp
+    // late events instead of asserting, and the clamp means an event
+    // fired at the wrong simulated time.
+    let late = w.late_schedules();
+    if late > 0 {
+        violations.push(format!(
+            "drain gate: {late} event(s) scheduled in the past were clamped to now"
         ));
     }
     let stats = &w.kernel(k).stats;
@@ -339,7 +356,18 @@ pub fn check_program(spec: &ProgramSpec) -> Vec<String> {
 /// oracle is unchanged — schedulers may exploit a deep queue but must
 /// never change syscall results.
 pub fn check_program_qd(spec: &ProgramSpec, queue_depth: Option<u32>) -> Vec<String> {
-    let run = |sched, device| run_inner(spec, sched, device, None, None, queue_depth);
+    check_program_opts(spec, queue_depth, false)
+}
+
+/// [`check_program_qd`] with the late-schedule probe: `inject_late`
+/// poisons every run in the matrix with one deliberately-late event, so
+/// a passing gate proves `runner check --inject-late` exits nonzero.
+fn check_program_opts(
+    spec: &ProgramSpec,
+    queue_depth: Option<u32>,
+    inject_late: bool,
+) -> Vec<String> {
+    let run = |sched, device| run_inner(spec, sched, device, None, None, queue_depth, inject_late);
     let mut problems = Vec::new();
     for &device in &ALL_DEVICES {
         let reference = run(ALL_SCHEDS[0], device);
@@ -388,7 +416,7 @@ pub fn bench_batch(programs: usize, root_seed: u64) -> BenchBatch {
         let spec = generate(&mut SimRng::stream(root_seed, idx), &GenConfig::default());
         for &device in &ALL_DEVICES {
             for &sched in &ALL_SCHEDS {
-                let r = run_inner(&spec, sched, device, None, None, None);
+                let r = run_inner(&spec, sched, device, None, None, None, false);
                 events += r.events;
                 fsync_ms.extend(r.fsync_ms);
             }
@@ -411,6 +439,9 @@ pub struct CheckConfig {
     /// Device plane: `None` = legacy serial device, `Some(d)` = queued
     /// device at hardware queue depth `d`.
     pub queue_depth: Option<u32>,
+    /// Plant one deliberately-late event per run so the late-schedule
+    /// gate can be demonstrated to fail (`runner check --inject-late`).
+    pub inject_late: bool,
 }
 
 impl Default for CheckConfig {
@@ -421,6 +452,7 @@ impl Default for CheckConfig {
             root_seed: 0,
             shrink: false,
             queue_depth: None,
+            inject_late: false,
         }
     }
 }
@@ -511,15 +543,18 @@ pub fn run_check(cfg: &CheckConfig) -> CheckReport {
             &mut SimRng::stream(cfg.root_seed, idx),
             &GenConfig::default(),
         );
-        let problems = check_program_qd(&spec, cfg.queue_depth);
+        let problems = check_program_opts(&spec, cfg.queue_depth, cfg.inject_late);
         (idx, spec, problems)
     });
     // Shrinking replays the whole matrix per candidate, so it stays on
-    // the (rare) failure path and out of the parallel section.
+    // the (rare) failure path and out of the parallel section. Injected
+    // late-schedule failures are in the harness, not the program, so
+    // there is nothing for the shrinker to minimize.
+    let minimize = cfg.shrink && !cfg.inject_late;
     let failures = results
         .into_iter()
         .filter(|(_, _, problems)| !problems.is_empty())
-        .map(|(idx, spec, problems)| fail_from(&spec, idx, problems, cfg.shrink, cfg.queue_depth))
+        .map(|(idx, spec, problems)| fail_from(&spec, idx, problems, minimize, cfg.queue_depth))
         .collect();
     CheckReport {
         programs: cfg.programs,
@@ -564,6 +599,41 @@ mod tests {
             "outcome sequence"
         );
         assert_eq!(r.io_errors, 0);
+    }
+
+    #[test]
+    fn injected_late_schedule_fails_an_otherwise_clean_run() {
+        let spec = ProgramSpec::parse(
+            "program shared=1 bytes=65536\n\
+             proc\n\
+             write s0 0 8192\n\
+             fsync s0\n\
+             end\n",
+        )
+        .unwrap();
+        let r = run_inner(
+            &spec,
+            SchedChoice::Noop,
+            DeviceChoice::Ssd,
+            None,
+            None,
+            None,
+            true,
+        );
+        // Both the event-queue auditor and the harness's drain gate
+        // must flag the planted late event.
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| v.contains("scheduled in the past") && !v.contains("drain gate")),
+            "auditor violation missing: {:?}",
+            r.violations
+        );
+        assert!(
+            r.violations.iter().any(|v| v.contains("drain gate")),
+            "drain gate violation missing: {:?}",
+            r.violations
+        );
     }
 
     #[test]

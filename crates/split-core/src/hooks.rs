@@ -243,6 +243,14 @@ impl<'a> SchedCtx<'a> {
         self.commands.push(SchedCmd::KickDispatch);
     }
 
+    /// Seed the command buffer with a recycled (empty) allocation, so a
+    /// warm kernel's hook invocations never touch the allocator.
+    pub fn with_commands_buf(mut self, buf: Vec<SchedCmd>) -> Self {
+        debug_assert!(buf.is_empty());
+        self.commands = buf;
+        self
+    }
+
     /// Take the queued commands (kernel side).
     pub fn drain(&mut self) -> Vec<SchedCmd> {
         std::mem::take(&mut self.commands)

@@ -19,10 +19,10 @@
 //! by the total active weight, which paces total admission to the drain
 //! rate and shares it in proportion to priority.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use sim_block::{Dispatch, IoPrio, ReqKind, Request};
-use sim_core::{BlockNo, Pid, SimDuration, SimTime};
+use sim_core::{BlockNo, FastMap, Pid, SimDuration, SimTime};
 use sim_device::IoDir;
 use split_core::{BufferDirtied, Gate, IoSched, SchedAttr, SchedCtx, SyscallInfo};
 
@@ -68,12 +68,12 @@ struct ReadQueue {
 /// The AFQ scheduler.
 pub struct Afq {
     cfg: AfqConfig,
-    weights: HashMap<Pid, f64>,
-    passes: HashMap<Pid, f64>,
+    weights: FastMap<Pid, f64>,
+    passes: FastMap<Pid, f64>,
     /// Virtual time: cumulative dispatched device seconds over the active
     /// weight at the time of each dispatch.
     vtime: f64,
-    reads: HashMap<Pid, ReadQueue>,
+    reads: FastMap<Pid, ReadQueue>,
     writes: VecDeque<Request>,
     active: Option<(Pid, f64, Option<SimTime>)>,
     held: Vec<Pid>,
@@ -84,7 +84,7 @@ pub struct Afq {
     /// When each client last consumed disk budget — a writer with recent
     /// charges is competing for the disk even if nothing of its is queued
     /// at the block level right now (its work sits in the write buffer).
-    last_charge: HashMap<Pid, SimTime>,
+    last_charge: FastMap<Pid, SimTime>,
     timer_armed: bool,
 }
 
@@ -101,16 +101,16 @@ impl Afq {
     pub fn with_config(cfg: AfqConfig) -> Self {
         Afq {
             cfg,
-            weights: HashMap::new(),
-            passes: HashMap::new(),
+            weights: FastMap::default(),
+            passes: FastMap::default(),
             vtime: 0.0,
-            reads: HashMap::new(),
+            reads: FastMap::default(),
             writes: VecDeque::new(),
             active: None,
             held: Vec::new(),
             inflight: 0,
             last_activity: SimTime::ZERO,
-            last_charge: HashMap::new(),
+            last_charge: FastMap::default(),
             timer_armed: false,
         }
     }
@@ -589,7 +589,7 @@ mod tests {
         });
         a.configure(Pid(1), SchedAttr::Prio(IoPrio::best_effort(0))); // w=8
         a.configure(Pid(2), SchedAttr::Prio(IoPrio::best_effort(7))); // w=1
-        let mut served: HashMap<Pid, u32> = HashMap::new();
+        let mut served: FastMap<Pid, u32> = FastMap::default();
         let mut id = 0u64;
         for round in 0..200 {
             let mut ctx = SchedCtx::new(SimTime::from_nanos(round), &dev);
