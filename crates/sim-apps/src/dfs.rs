@@ -6,6 +6,7 @@
 //! token bucket (the paper's modified HDFS protocol).
 
 use std::collections::HashMap;
+use std::fmt;
 
 use sim_cache::CacheConfig;
 use sim_core::{FileId, KernelId, Pid, SimDuration, SimRng, SimTime};
@@ -48,6 +49,32 @@ impl Default for DfsConfig {
         }
     }
 }
+
+/// A configuration or accounting error from the DFS driver. These used
+/// to be silent no-ops; an experiment that misspelled an account id
+/// would simply measure an unthrottled cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DfsError {
+    /// The cluster has no workers, so a client has nowhere to write.
+    NoWorkers,
+    /// No client is registered under this account.
+    UnknownAccount(u32),
+    /// A zero rate cap would park the account's token bucket forever;
+    /// reject it rather than silently starving the account.
+    ZeroRate(u32),
+}
+
+impl fmt::Display for DfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfsError::NoWorkers => write!(f, "cluster has no workers"),
+            DfsError::UnknownAccount(a) => write!(f, "no client under account {a}"),
+            DfsError::ZeroRate(a) => write!(f, "zero rate cap for account {a}"),
+        }
+    }
+}
+
+impl std::error::Error for DfsError {}
 
 struct Client {
     account: u32,
@@ -106,7 +133,10 @@ impl DfsCluster {
 
     /// Add a client writing under `account`. Throttled accounts must then
     /// be configured via [`DfsCluster::set_account_rate`].
-    pub fn add_client(&mut self, world: &mut World, account: u32) -> usize {
+    pub fn add_client(&mut self, world: &mut World, account: u32) -> Result<usize, DfsError> {
+        if self.workers.is_empty() {
+            return Err(DfsError::NoWorkers);
+        }
         let mut handlers = Vec::new();
         for &wk in &self.workers {
             let pid = world.spawn_external(wk);
@@ -122,23 +152,30 @@ impl DfsCluster {
             pending: 0,
             bytes_written: 0,
         });
-        self.clients.len() - 1
+        Ok(self.clients.len() - 1)
     }
 
     /// Cap `account` to `rate` normalized bytes/second *per worker* (the
-    /// paper's local rate caps).
-    pub fn set_account_rate(&mut self, world: &mut World, account: u32, rate: u64) {
-        for (ci, c) in self.clients.iter().enumerate() {
-            if c.account != account {
-                continue;
-            }
-            for (wi, &wk) in self.workers.iter().enumerate() {
-                let (pid, _, _) = self.clients[ci].handlers[wi];
-                world.configure(wk, pid, SchedAttr::TokenRate(rate));
-            }
-            break; // one member per worker is enough: buckets are shared
+    /// paper's local rate caps). The account must have at least one
+    /// client and the rate must be positive.
+    pub fn set_account_rate(
+        &mut self,
+        world: &mut World,
+        account: u32,
+        rate: u64,
+    ) -> Result<(), DfsError> {
+        if rate == 0 {
+            return Err(DfsError::ZeroRate(account));
         }
-        let _ = account;
+        let Some(ci) = self.clients.iter().position(|c| c.account == account) else {
+            return Err(DfsError::UnknownAccount(account));
+        };
+        // One member per worker is enough: buckets are shared per account.
+        for (wi, &wk) in self.workers.iter().enumerate() {
+            let (pid, _, _) = self.clients[ci].handlers[wi];
+            world.configure(wk, pid, SchedAttr::TokenRate(rate));
+        }
+        Ok(())
     }
 
     /// Client-visible bytes written by `client`.
@@ -255,7 +292,7 @@ mod tests {
             ..Default::default()
         };
         let mut cluster = DfsCluster::new(&mut w, cfg);
-        let c = cluster.add_client(&mut w, 1);
+        let c = cluster.add_client(&mut w, 1).unwrap();
         cluster.run(&mut w, secs(2));
         let written = cluster.bytes_written(c);
         assert!(written > 8 * 1024 * 1024, "client wrote {written}");
@@ -283,9 +320,11 @@ mod tests {
             ..Default::default()
         };
         let mut cluster = DfsCluster::new(&mut w, cfg);
-        let slow = cluster.add_client(&mut w, 1);
-        let fast = cluster.add_client(&mut w, 2);
-        cluster.set_account_rate(&mut w, 1, 2 * 1024 * 1024); // 2 MB/s/worker
+        let slow = cluster.add_client(&mut w, 1).unwrap();
+        let fast = cluster.add_client(&mut w, 2).unwrap();
+        cluster
+            .set_account_rate(&mut w, 1, 2 * 1024 * 1024) // 2 MB/s/worker
+            .unwrap();
         cluster.run(&mut w, secs(4));
         let s = cluster.bytes_written(slow);
         let f = cluster.bytes_written(fast);
@@ -294,5 +333,52 @@ mod tests {
             "unthrottled {f} should far exceed throttled {s}"
         );
         assert!(s > 0, "throttled account must still progress");
+    }
+
+    #[test]
+    fn unknown_account_rate_is_a_typed_error() {
+        let mut w = World::new();
+        let cfg = DfsConfig {
+            workers: 2,
+            ..Default::default()
+        };
+        let mut cluster = DfsCluster::new(&mut w, cfg);
+        cluster.add_client(&mut w, 1).unwrap();
+        assert_eq!(
+            cluster.set_account_rate(&mut w, 99, 1024),
+            Err(DfsError::UnknownAccount(99))
+        );
+    }
+
+    #[test]
+    fn zero_rate_is_rejected_before_account_lookup() {
+        let mut w = World::new();
+        let cfg = DfsConfig {
+            workers: 2,
+            ..Default::default()
+        };
+        let mut cluster = DfsCluster::new(&mut w, cfg);
+        cluster.add_client(&mut w, 1).unwrap();
+        // A zero cap is invalid even for a known account …
+        assert_eq!(
+            cluster.set_account_rate(&mut w, 1, 0),
+            Err(DfsError::ZeroRate(1))
+        );
+        // … and reported as such for unknown ones too.
+        assert_eq!(
+            cluster.set_account_rate(&mut w, 7, 0),
+            Err(DfsError::ZeroRate(7))
+        );
+    }
+
+    #[test]
+    fn clients_need_workers() {
+        let mut w = World::new();
+        let cfg = DfsConfig {
+            workers: 0,
+            ..Default::default()
+        };
+        let mut cluster = DfsCluster::new(&mut w, cfg);
+        assert_eq!(cluster.add_client(&mut w, 1), Err(DfsError::NoWorkers));
     }
 }

@@ -1,0 +1,426 @@
+#![warn(missing_docs)]
+//! A cluster-scale serving fleet on the split-level storage stack.
+//!
+//! This crate generalizes the paper's 7-node HDFS case study (§7.3) to
+//! a sharded serving fleet: every shard is a full simulated kernel with
+//! its own calendar-wheel event queue ([`sim_kernel::World`]), running a
+//! replicated KV/log server (leader + followers, commit-on-quorum-fsync
+//! — the `minidb` WAL discipline made distributed) next to a batch
+//! tenant, under open-loop client traffic (Poisson / diurnal /
+//! flash-crowd arrival processes).
+//!
+//! Shards advance in bounded time windows under a **conservative
+//! parallel-DES executor** ([`exec`]): the minimum network link latency
+//! is the lookahead, cross-shard messages are routed at window barriers,
+//! and the simulated output is byte-identical at any worker count
+//! (`--jobs 1` is the proven-equal sequential fallback).
+//!
+//! Fleet-wide SLOs (per-tier and end-to-end p50/p99/p999) are computed
+//! with [`sim_core::stats::Percentiles`] and exported through the
+//! [`sim_trace::Registry`] ([`slo`]).
+
+pub mod exec;
+pub mod shard;
+pub mod slo;
+pub mod traffic;
+
+use sim_block::Cfq;
+use sim_cache::CacheConfig;
+use sim_core::{stream_seed, SimDuration};
+use sim_kernel::{DeviceKind, KernelConfig};
+use split_core::{BlockOnly, IoSched};
+use split_schedulers::SplitToken;
+
+pub use shard::{Envelope, ReqKind, ReqSample, ShardResult};
+pub use sim_apps::net::NetConfig;
+pub use slo::{samples_between, SloReport, TierSlo};
+pub use traffic::{ArrivalGen, ArrivalKind};
+
+/// Scheduler installed on every shard kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterSched {
+    /// Split-Token (§5.3) — the paper's full split-level scheduler.
+    SplitToken,
+    /// Linux CFQ at the block level (the baseline that degrades).
+    Cfq,
+}
+
+impl ClusterSched {
+    /// Instantiate the scheduler.
+    pub fn build(self) -> Box<dyn IoSched> {
+        match self {
+            ClusterSched::SplitToken => Box::new(SplitToken::new()),
+            ClusterSched::Cfq => Box::new(BlockOnly::new(Cfq::new())),
+        }
+    }
+
+    /// CLI / table name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClusterSched::SplitToken => "split-token",
+            ClusterSched::Cfq => "cfq",
+        }
+    }
+
+    /// Parse a runner `--sched` name.
+    pub fn parse(s: &str) -> Option<ClusterSched> {
+        Some(match s {
+            "split-token" => ClusterSched::SplitToken,
+            "cfq" => ClusterSched::Cfq,
+            _ => return None,
+        })
+    }
+}
+
+/// Device model attached to every shard kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterDevice {
+    /// 7200 RPM rotational disk (the paper's main target).
+    Hdd,
+    /// Flash SSD.
+    Ssd,
+}
+
+impl ClusterDevice {
+    /// Instantiate the device model.
+    pub fn build(self) -> DeviceKind {
+        match self {
+            ClusterDevice::Hdd => DeviceKind::hdd(),
+            ClusterDevice::Ssd => DeviceKind::ssd(),
+        }
+    }
+
+    /// CLI / table name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClusterDevice::Hdd => "hdd",
+            ClusterDevice::Ssd => "ssd",
+        }
+    }
+}
+
+/// The per-shard batch tenant: a buffered random writer dirtying pages
+/// continuously, competing with the latency-SLO serving tenant.
+#[derive(Debug, Clone, Copy)]
+pub struct BackgroundLoad {
+    /// Backing file size.
+    pub file_bytes: u64,
+    /// Bytes per write call.
+    pub req_bytes: u64,
+    /// The tenant's own target dirtying rate (bytes/s) — what it
+    /// attempts regardless of scheduler.
+    pub dirty_rate: u64,
+    /// Split-Token rate cap (normalized bytes/s), set below
+    /// `dirty_rate` so tokens bind. Under CFQ the tenant runs in the
+    /// idle class instead — the best CFQ can do.
+    pub rate_cap: u64,
+}
+
+/// Fleet configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Shard (kernel instance) count.
+    pub kernels: usize,
+    /// Replication group size; groups are contiguous shard ranges and
+    /// the remainder joins the last group. Quorum is majority.
+    pub replication: usize,
+    /// Request handlers per shard (the server's concurrency limit).
+    pub handlers_per_shard: usize,
+    /// Scheduler on every shard.
+    pub sched: ClusterSched,
+    /// Device on every shard.
+    pub device: ClusterDevice,
+    /// Modeled RAM per shard.
+    pub mem_bytes: u64,
+    /// Cores per shard.
+    pub cores: u32,
+    /// Network model; its minimum link latency is the PDES lookahead.
+    pub net: NetConfig,
+    /// Arrival process, per replication group.
+    pub arrival: ArrivalKind,
+    /// Fraction of requests that are gets.
+    pub read_fraction: f64,
+    /// WAL append size per put.
+    pub wal_bytes: u64,
+    /// Read size per get.
+    pub get_bytes: u64,
+    /// Per-shard DB file backing gets.
+    pub db_bytes: u64,
+    /// Batch tenant, if any.
+    pub background: Option<BackgroundLoad>,
+    /// Simulated run length.
+    pub duration: SimDuration,
+    /// Root seed: arrival schedules, request routing, file layouts.
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            kernels: 16,
+            replication: 3,
+            handlers_per_shard: 8,
+            sched: ClusterSched::SplitToken,
+            device: ClusterDevice::Hdd,
+            mem_bytes: 256 * 1024 * 1024,
+            cores: 8,
+            net: NetConfig::default(),
+            arrival: ArrivalKind::Poisson { rate: 30.0 },
+            read_fraction: 0.5,
+            wal_bytes: 4096,
+            get_bytes: 16 * 1024,
+            db_bytes: 1024 * 1024 * 1024,
+            background: Some(BackgroundLoad {
+                file_bytes: 512 * 1024 * 1024,
+                req_bytes: 64 * 1024,
+                dirty_rate: 4 * 1024 * 1024,
+                rate_cap: 1024 * 1024,
+            }),
+            duration: SimDuration::from_secs(10),
+            seed: 0,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// The kernel configuration for shard `idx`.
+    pub fn kernel_config(&self, idx: usize) -> KernelConfig {
+        KernelConfig {
+            cache: CacheConfig {
+                mem_bytes: self.mem_bytes,
+                ..Default::default()
+            },
+            cores: self.cores,
+            pdflush: true,
+            fs_seed: stream_seed(self.seed, 0xF5_0000 + idx as u64),
+            ..Default::default()
+        }
+    }
+
+    /// The fixed small fleet the bench panel runs (`cluster_small`):
+    /// 8 kernels, 2 simulated seconds of Poisson traffic. Small enough
+    /// for a bench rep, big enough to exercise replication and the
+    /// windowed executor.
+    pub fn bench_small() -> ClusterConfig {
+        ClusterConfig {
+            kernels: 8,
+            duration: SimDuration::from_secs(2),
+            arrival: ArrivalKind::Poisson { rate: 30.0 },
+            ..Default::default()
+        }
+    }
+
+    /// Shape the legacy HDFS figure (`fig21`) from this fleet: worker
+    /// count and replication flow from the cluster config, making the
+    /// paper's fixed 7-node run one point on the fleet-size axis and a
+    /// 1-kernel fleet the degenerate single-shard case.
+    pub fn dfs(&self) -> sim_apps::DfsConfig {
+        sim_apps::DfsConfig {
+            workers: self.kernels.max(1),
+            replication: self.replication.clamp(1, self.kernels.max(1)),
+            seed: stream_seed(self.seed, 0xDF5),
+            ..Default::default()
+        }
+    }
+}
+
+/// How shards are grouped into replication groups.
+#[derive(Debug, Clone, Copy)]
+pub struct Topology {
+    n: usize,
+    r: usize,
+    groups: usize,
+}
+
+impl Topology {
+    /// Group `kernels` shards into contiguous groups of `replication`;
+    /// the remainder joins the last group.
+    pub fn new(kernels: usize, replication: usize) -> Topology {
+        let n = kernels.max(1);
+        let r = replication.clamp(1, n);
+        Topology {
+            n,
+            r,
+            groups: (n / r).max(1),
+        }
+    }
+
+    /// Number of replication groups.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Which group shard `i` belongs to.
+    pub fn group_of(&self, i: usize) -> usize {
+        (i / self.r).min(self.groups - 1)
+    }
+
+    /// The shard-index range of group `g`.
+    pub fn members(&self, g: usize) -> std::ops::Range<usize> {
+        let start = g * self.r;
+        let end = if g + 1 == self.groups {
+            self.n
+        } else {
+            start + self.r
+        };
+        start..end
+    }
+
+    /// Group `g`'s leader shard.
+    pub fn leader(&self, g: usize) -> usize {
+        g * self.r
+    }
+
+    /// Majority quorum over group `g`'s members (fsyncs that must land
+    /// before a put commits).
+    pub fn quorum(&self, g: usize) -> usize {
+        let m = self.members(g);
+        (m.end - m.start) / 2 + 1
+    }
+}
+
+/// Everything one fleet run produced.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Shard count.
+    pub kernels: usize,
+    /// Replication group count.
+    pub groups: usize,
+    /// Configured group size.
+    pub replication: usize,
+    /// Scheduler name.
+    pub sched: &'static str,
+    /// Device name.
+    pub device: &'static str,
+    /// Arrival process name.
+    pub arrival: &'static str,
+    /// Simulated seconds.
+    pub duration_s: f64,
+    /// Every completed request (shard-index order, completion order
+    /// within a shard).
+    pub samples: Vec<ReqSample>,
+    /// Events processed across all shard queues.
+    pub events: u64,
+    /// Late schedules across all shards (must be zero — nonzero means
+    /// the lookahead contract broke).
+    pub late: u64,
+    /// Requests still in flight when the clock stopped.
+    pub inflight: u64,
+    /// The SLO table.
+    pub slo: SloReport,
+}
+
+impl ClusterReport {
+    /// Deterministic fleet summary: config line, totals, SLO table.
+    /// Byte-identical across `--jobs` values — CI diffs this output.
+    pub fn render(&self) -> String {
+        let puts = self
+            .samples
+            .iter()
+            .filter(|s| s.kind == ReqKind::Put)
+            .count();
+        let gets = self.samples.len() - puts;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Cluster SLO: {} kernel(s) in {} group(s) (r={}), {} on {}, {} arrivals, {:.1}s\n",
+            self.kernels,
+            self.groups,
+            self.replication,
+            self.sched,
+            self.device,
+            self.arrival,
+            self.duration_s
+        ));
+        out.push_str(&format!(
+            "  committed: {} put(s), {} get(s); {} in flight at end; {} event(s); {} late\n",
+            puts, gets, self.inflight, self.events, self.late
+        ));
+        out.push_str(&self.slo.render());
+        out
+    }
+
+    /// Export counters and latency histograms into a metrics registry.
+    pub fn registry(&self) -> sim_trace::Registry {
+        let mut reg = sim_trace::Registry::new();
+        SloReport::export(&self.samples, &mut reg);
+        reg.add("cluster.events", self.events);
+        reg.add("cluster.late_schedules", self.late);
+        reg.add("cluster.inflight_at_end", self.inflight);
+        reg
+    }
+}
+
+/// Run the fleet on `jobs` workers. `jobs = 1` is the sequential
+/// fallback; any other value produces byte-identical output (asserted
+/// by the crate's tests and the CI smoke job).
+pub fn run_cluster(cfg: &ClusterConfig, jobs: usize) -> ClusterReport {
+    let topo = Topology::new(cfg.kernels, cfg.replication);
+    let results = exec::run_windows(cfg, jobs);
+    let mut samples = Vec::new();
+    let mut events = 0;
+    let mut late = 0;
+    let mut inflight = 0;
+    for r in results {
+        samples.extend(r.samples);
+        events += r.events;
+        late += r.late;
+        inflight += r.inflight;
+    }
+    let slo = SloReport::compute(&samples);
+    ClusterReport {
+        kernels: cfg.kernels.max(1),
+        groups: topo.groups(),
+        replication: cfg.replication.clamp(1, cfg.kernels.max(1)),
+        sched: cfg.sched.name(),
+        device: cfg.device.name(),
+        arrival: cfg.arrival.name(),
+        duration_s: cfg.duration.as_secs_f64(),
+        samples,
+        events,
+        late,
+        inflight,
+        slo,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_groups_with_remainder() {
+        let t = Topology::new(8, 3);
+        assert_eq!(t.groups(), 2);
+        assert_eq!(t.members(0), 0..3);
+        assert_eq!(t.members(1), 3..8, "remainder joins the last group");
+        assert_eq!(t.leader(1), 3);
+        assert_eq!(t.quorum(0), 2);
+        assert_eq!(t.quorum(1), 3, "majority of 5");
+        assert_eq!(t.group_of(7), 1);
+    }
+
+    #[test]
+    fn degenerate_single_shard_topology() {
+        let t = Topology::new(1, 3);
+        assert_eq!(t.groups(), 1);
+        assert_eq!(t.members(0), 0..1);
+        assert_eq!(t.quorum(0), 1, "no followers, commit on local fsync");
+    }
+
+    #[test]
+    fn fig21_routing_clamps_to_fleet() {
+        let fleet = ClusterConfig {
+            kernels: 1,
+            ..Default::default()
+        };
+        let dfs = fleet.dfs();
+        assert_eq!(dfs.workers, 1);
+        assert_eq!(dfs.replication, 1, "degenerate 1-shard case");
+        let paper = ClusterConfig {
+            kernels: 7,
+            ..Default::default()
+        };
+        assert_eq!(paper.dfs().workers, 7, "the paper's node count");
+        assert_eq!(paper.dfs().replication, 3);
+    }
+}

@@ -46,6 +46,21 @@ impl Config {
         }
     }
 
+    /// Shape the cluster from a fleet configuration: node count and
+    /// replication come from [`sim_cluster::ClusterConfig`], so the
+    /// paper's fixed 7-node run is just one point on the fleet-size
+    /// axis and a 1-kernel fleet degenerates to a single local worker.
+    pub fn with_fleet(fleet: &sim_cluster::ClusterConfig) -> Self {
+        let base = Config::quick();
+        Config {
+            cluster: DfsConfig {
+                block_bytes: base.cluster.block_bytes,
+                ..fleet.dfs()
+            },
+            ..base
+        }
+    }
+
     /// Paper-scale run (7 workers, 4+4 writers, 64 MB blocks).
     pub fn paper() -> Self {
         Config {
@@ -98,10 +113,16 @@ pub fn run_point(cfg: &Config, block_bytes: u64, cap: u64) -> Point {
     const THROTTLED: u32 = 1;
     const UNTHROTTLED: u32 = 2;
     for _ in 0..cfg.writers_per_group {
-        cluster.add_client(&mut w, THROTTLED);
-        cluster.add_client(&mut w, UNTHROTTLED);
+        cluster
+            .add_client(&mut w, THROTTLED)
+            .expect("cluster has workers");
+        cluster
+            .add_client(&mut w, UNTHROTTLED)
+            .expect("cluster has workers");
     }
-    cluster.set_account_rate(&mut w, THROTTLED, cap);
+    cluster
+        .set_account_rate(&mut w, THROTTLED, cap)
+        .expect("throttled account exists and cap is nonzero");
     cluster.run(&mut w, cfg.duration);
     let secs = cfg.duration.as_secs_f64();
     let repl = cfg.cluster.replication as f64;
@@ -192,6 +213,35 @@ mod tests {
             p.bound_mbps
         );
         assert!(p.throttled_mbps > 0.0);
+    }
+
+    #[test]
+    fn fleet_shapes_the_cluster_and_one_kernel_degenerates() {
+        let fleet = sim_cluster::ClusterConfig {
+            kernels: 1,
+            ..Default::default()
+        };
+        let cfg = Config::with_fleet(&fleet);
+        assert_eq!(cfg.cluster.workers, 1);
+        assert_eq!(cfg.cluster.replication, 1, "1-shard fleet: no replicas");
+        // The degenerate single-worker cluster must still run and
+        // respect the cap — everything lands on one local kernel.
+        let p = run_point(&cfg, cfg.cluster.block_bytes, cfg.rate_caps[1]);
+        assert!(p.throttled_mbps > 0.0);
+        assert!(
+            p.throttled_mbps <= 1.15 * p.bound_mbps,
+            "throttled {} vs bound {}",
+            p.throttled_mbps,
+            p.bound_mbps
+        );
+
+        let paper = sim_cluster::ClusterConfig {
+            kernels: 7,
+            ..Default::default()
+        };
+        let shaped = Config::with_fleet(&paper);
+        assert_eq!(shaped.cluster.workers, 7, "the paper's node count");
+        assert_eq!(shaped.cluster.replication, 3);
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod fig18_sqlite;
 pub mod fig19_postgres;
 pub mod fig20_qemu;
 pub mod fig21_hdfs;
+pub mod fig_cluster;
 pub mod registry;
 pub mod setup;
 pub mod table;

@@ -57,11 +57,13 @@ pub enum FigureId {
     Breakdown,
     /// Figure 21 — HDFS isolation.
     Fig21,
+    /// Cluster figure — fleet-wide SLOs under a flash crowd.
+    FigCluster,
 }
 
 impl FigureId {
     /// All targets in the order `runner all` prints them.
-    pub const ALL: [FigureId; 20] = [
+    pub const ALL: [FigureId; 21] = [
         FigureId::Fig01,
         FigureId::Fig01Qd,
         FigureId::Fig03,
@@ -82,6 +84,7 @@ impl FigureId {
         FigureId::Ablations,
         FigureId::Breakdown,
         FigureId::Fig21,
+        FigureId::FigCluster,
     ];
 
     /// CLI name (`fig01`, `ablations`, ...).
@@ -107,6 +110,7 @@ impl FigureId {
             FigureId::Ablations => "ablations",
             FigureId::Breakdown => "breakdown",
             FigureId::Fig21 => "fig21",
+            FigureId::FigCluster => "fig_cluster",
         }
     }
 
@@ -658,6 +662,35 @@ pub fn run_cell(req: &CellRequest) -> CellOutput {
                         p.unthrottled_mbps,
                     ));
                 }
+            }
+            CellOutput {
+                summary: format!("{r}\n\n"),
+                metrics,
+                artifacts: Vec::new(),
+            }
+        }
+        FigureId::FigCluster => {
+            let mut cfg = if paper {
+                crate::fig_cluster::Config::paper()
+            } else {
+                crate::fig_cluster::Config::quick()
+            };
+            cfg.seed = req.seed;
+            let r = crate::fig_cluster::run(&cfg);
+            let mut metrics = Vec::new();
+            for run in [&r.split, &r.cfq] {
+                let sys = run.sched.replace('-', "_");
+                for phase in [&run.before, &run.during] {
+                    metrics.push(m(
+                        format!("{sys}_{}_put_p99_ms", phase.label),
+                        phase.slo.put_e2e.p99,
+                    ));
+                    metrics.push(m(
+                        format!("{sys}_{}_get_p99_ms", phase.label),
+                        phase.slo.get_e2e.p99,
+                    ));
+                }
+                metrics.push(m(format!("{sys}_put_p99_blowup"), run.put_p99_blowup()));
             }
             CellOutput {
                 summary: format!("{r}\n\n"),

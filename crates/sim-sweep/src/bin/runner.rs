@@ -7,6 +7,8 @@
 //!              [--sched NAME]... [--device NAME]... [--paper]
 //! runner check [--programs N] [--jobs N] [--root-seed N] [--shrink]
 //!              [--queue-depth N] [--replay FILE]
+//! runner cluster [--kernels N] [--jobs N] [--arrival NAME] [--rate R]
+//!                [--duration SECS] [--seed N] [--sched NAME] [--csv]
 //! ```
 //!
 //! Targets are `fig01 … fig21`, `ablations`, `breakdown`, `faults`,
@@ -46,8 +48,19 @@
 //! the figure's simulated output is byte-identical to an unprofiled
 //! run.
 //!
+//! `cluster` runs the sharded serving fleet: `--kernels N` simulated
+//! kernels (default 16) in replication groups of 3, open-loop
+//! `--arrival poisson|diurnal|flash` traffic at `--rate R` req/s per
+//! group, for `--duration SECS` simulated seconds, under
+//! `--sched split-token|cfq`, and prints the fleet-wide SLO table.
+//! `--jobs N` drives shards on N worker threads through the
+//! conservative parallel-DES executor; the output is byte-identical to
+//! `--jobs 1` (CI diffs the two). `--csv` writes the raw per-request
+//! samples under `results/`.
+//!
 //! `bench` runs the standard panel (fig01, fig01_qd at depths 1/8/32,
-//! a `check` fuzz batch) `--reps` times each and writes
+//! a `check` fuzz batch, the `cluster_small` fleet at 1 and 4 jobs)
+//! `--reps` times each and writes
 //! `BENCH_<git-sha>.json` under `--out` (default `results/bench`). If a
 //! committed baseline exists (`--baseline`, default
 //! `BENCH_baseline.json`) the run is compared against it and exit code
@@ -78,13 +91,16 @@ usage: runner [--paper] [--csv] [--trace] [--faults] [--jobs N] [TARGET...]
        runner profile FIGURE [--paper]
        runner bench [--reps N] [--check-programs N] [--root-seed N]
                     [--out DIR] [--baseline FILE]
+       runner cluster [--kernels N] [--jobs N] [--arrival NAME] [--rate R]
+                      [--duration SECS] [--seed N] [--sched NAME] [--csv]
 
 targets: fig01 fig03 fig05 fig06 fig09 fig10 fig11 fig12 fig13 fig14
-         fig15 fig16 fig17 fig18 fig19 fig20 fig21 ablations breakdown
-         faults all sweep check profile bench
+         fig15 fig16 fig17 fig18 fig19 fig20 fig21 fig_cluster ablations
+         breakdown faults all sweep check profile bench cluster
 scheds:  noop cfq block-deadline scs-token afq split-deadline
          split-pdflush split-token split-noop
-devices: hdd ssd";
+devices: hdd ssd
+arrivals: poisson diurnal flash";
 
 fn die(msg: &str) -> ! {
     eprintln!("runner: {msg}");
@@ -144,6 +160,11 @@ struct Cli {
     check_programs: Option<usize>,
     out: Option<String>,
     baseline: Option<String>,
+    kernels: Option<usize>,
+    arrival: Option<String>,
+    rate: Option<f64>,
+    duration_s: Option<f64>,
+    seed: Option<u64>,
     scheds: Vec<SchedChoice>,
     devices: Vec<DeviceChoice>,
     targets: Vec<String>,
@@ -238,6 +259,41 @@ fn parse_cli(args: &[String]) -> Cli {
                 let v = value(&mut it, "--baseline", inline);
                 cli.baseline = Some(v);
             }
+            "--kernels" => {
+                let v = value(&mut it, "--kernels", inline);
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => cli.kernels = Some(n),
+                    _ => die(&format!("invalid --kernels value: {v}")),
+                }
+            }
+            "--arrival" => {
+                let v = value(&mut it, "--arrival", inline);
+                if sim_cluster::ArrivalKind::parse(&v, 1.0).is_none() {
+                    die(&format!("unknown arrival process: {v}"));
+                }
+                cli.arrival = Some(v);
+            }
+            "--rate" => {
+                let v = value(&mut it, "--rate", inline);
+                match v.parse::<f64>() {
+                    Ok(r) if r > 0.0 && r.is_finite() => cli.rate = Some(r),
+                    _ => die(&format!("invalid --rate value: {v}")),
+                }
+            }
+            "--duration" => {
+                let v = value(&mut it, "--duration", inline);
+                match v.parse::<f64>() {
+                    Ok(s) if s > 0.0 && s.is_finite() => cli.duration_s = Some(s),
+                    _ => die(&format!("invalid --duration value: {v}")),
+                }
+            }
+            "--seed" => {
+                let v = value(&mut it, "--seed", inline);
+                match v.parse::<u64>() {
+                    Ok(n) => cli.seed = Some(n),
+                    _ => die(&format!("invalid --seed value: {v}")),
+                }
+            }
             "--sched" => {
                 let v = value(&mut it, "--sched", inline);
                 match parse_sched(&v) {
@@ -257,7 +313,7 @@ fn parse_cli(args: &[String]) -> Cli {
                 let known = FigureId::parse(name).is_some()
                     || matches!(
                         name,
-                        "all" | "faults" | "sweep" | "check" | "profile" | "bench"
+                        "all" | "faults" | "sweep" | "check" | "profile" | "bench" | "cluster"
                     );
                 if !known {
                     die(&format!("unknown target: {name}"));
@@ -375,6 +431,63 @@ fn check_main(cli: &Cli) {
     }
 }
 
+fn cluster_main(cli: &Cli) {
+    let mut cfg = sim_cluster::ClusterConfig {
+        kernels: cli.kernels.unwrap_or(16),
+        seed: cli.seed.unwrap_or(0),
+        ..Default::default()
+    };
+    if let Some(secs) = cli.duration_s {
+        cfg.duration = sim_core::SimDuration::from_nanos((secs * 1e9) as u64);
+    }
+    let rate = cli.rate.unwrap_or(20.0);
+    let arrival = cli.arrival.as_deref().unwrap_or("poisson");
+    cfg.arrival = sim_cluster::ArrivalKind::parse(arrival, rate)
+        .unwrap_or_else(|| die(&format!("unknown arrival process: {arrival}")));
+    match cli.scheds.as_slice() {
+        [] => {}
+        [s] => {
+            cfg.sched = match s {
+                SchedChoice::SplitToken => sim_cluster::ClusterSched::SplitToken,
+                SchedChoice::Cfq => sim_cluster::ClusterSched::Cfq,
+                _ => die("cluster supports --sched split-token or cfq"),
+            }
+        }
+        _ => die("cluster takes at most one --sched"),
+    }
+    let jobs = cli.jobs.unwrap_or(1);
+    eprintln!(
+        "cluster: {} kernel(s) on {} job(s), {} arrivals at {} req/s per group, seed {}",
+        cfg.kernels,
+        jobs,
+        cfg.arrival.name(),
+        rate,
+        cfg.seed
+    );
+    let report = sim_cluster::run_cluster(&cfg, jobs);
+    print!("{}", report.render());
+    if cli.csv {
+        let mut out = String::from("req,shard,kind,arrival_s,done_s,e2e_ms,service_ms,repl_ms\n");
+        for s in &report.samples {
+            out.push_str(&format!(
+                "{},{},{},{:.6},{:.6},{:.3},{:.3},{:.3}\n",
+                s.req,
+                s.shard,
+                match s.kind {
+                    sim_cluster::ReqKind::Put => "put",
+                    sim_cluster::ReqKind::Get => "get",
+                },
+                s.arrival.as_secs_f64(),
+                s.done.as_secs_f64(),
+                s.e2e_ms,
+                s.service_ms,
+                s.repl_ms
+            ));
+        }
+        write_result("results", "cluster_samples.csv", &out);
+    }
+}
+
 /// One fig01 write-burst panel entry at a given queue depth.
 fn burst_target(name: &'static str, depth: Option<u32>) -> bench::BenchTarget {
     bench::BenchTarget {
@@ -384,6 +497,27 @@ fn burst_target(name: &'static str, depth: Option<u32>) -> bench::BenchTarget {
             bench::RunOutput {
                 events: r.events,
                 fsync_ms: r.fsync_ms,
+            }
+        }),
+    }
+}
+
+/// One serving-fleet panel entry at a given worker count. Simulated
+/// output is identical across `jobs`; the panel exists to track
+/// events/sec of the sequential and parallel executors separately.
+fn cluster_target(name: &'static str, jobs: usize) -> bench::BenchTarget {
+    bench::BenchTarget {
+        name,
+        run: Box::new(move || {
+            let r = sim_cluster::run_cluster(&sim_cluster::ClusterConfig::bench_small(), jobs);
+            bench::RunOutput {
+                events: r.events,
+                fsync_ms: r
+                    .samples
+                    .iter()
+                    .filter(|s| s.kind == sim_cluster::ReqKind::Put)
+                    .map(|s| s.service_ms)
+                    .collect(),
             }
         }),
     }
@@ -408,6 +542,8 @@ fn bench_main(cli: &Cli) {
                 }
             }),
         },
+        cluster_target("cluster_small", 1),
+        cluster_target("cluster_small_j4", 4),
     ];
     eprintln!(
         "bench: {} target(s) x {reps} rep(s), check batch of {programs} program(s), root seed {root_seed}",
@@ -524,6 +660,27 @@ fn main() {
             die("bench does not combine with --paper/--csv/--trace/--faults/--jobs");
         }
         bench_main(&cli);
+        return;
+    }
+
+    let cluster_mode = cli.targets.iter().any(|t| t == "cluster");
+    if !cluster_mode
+        && (cli.kernels.is_some()
+            || cli.arrival.is_some()
+            || cli.rate.is_some()
+            || cli.duration_s.is_some()
+            || cli.seed.is_some())
+    {
+        die("--kernels/--arrival/--rate/--duration/--seed only apply to the cluster target");
+    }
+    if cluster_mode {
+        if cli.targets.len() > 1 {
+            die("cluster does not combine with other targets");
+        }
+        if cli.paper || cli.trace || cli.faults {
+            die("cluster does not combine with --paper/--trace/--faults");
+        }
+        cluster_main(&cli);
         return;
     }
 

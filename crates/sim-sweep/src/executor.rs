@@ -43,7 +43,13 @@ where
             scope.spawn(move || loop {
                 // Own back first (LIFO keeps the deal's locality),
                 // then steal a victim's front (FIFO minimises contention).
-                let task = queues[me].lock().unwrap().pop_back().or_else(|| {
+                // The own-queue pop must be its own statement: chaining
+                // `.or_else(...)` onto the lock temporary keeps the own
+                // guard alive across the steal, and workers that hold
+                // their own lock while probing the next one deadlock in
+                // a ring once every queue drains at the end of a run.
+                let own = queues[me].lock().unwrap().pop_back();
+                let task = own.or_else(|| {
                     (1..workers)
                         .map(|d| (me + d) % workers)
                         .find_map(|v| queues[v].lock().unwrap().pop_front())

@@ -162,6 +162,8 @@ fn bench_writes_parseable_panel_json_and_baseline_round_trips() {
         "fig01_qd_d8",
         "fig01_qd_d32",
         "check",
+        "cluster_small",
+        "cluster_small_j4",
     ] {
         let t = targets
             .get(name)
@@ -196,6 +198,95 @@ fn bench_writes_parseable_panel_json_and_baseline_round_trips() {
         "event counts are deterministic: {stdout}"
     );
 
+    std::fs::remove_dir_all(&tmp).ok();
+}
+
+#[test]
+fn cluster_flag_validation_exits_2() {
+    for args in [
+        // cluster-only flags leaking onto other targets
+        &["fig01", "--kernels", "4"][..],
+        &["check", "--arrival", "poisson"][..],
+        &["sweep", "--duration", "2"][..],
+        // bad values
+        &["cluster", "--kernels", "0"][..],
+        &["cluster", "--arrival", "bursty"][..],
+        &["cluster", "--rate", "-3"][..],
+        &["cluster", "--duration", "zero"][..],
+        &["cluster", "--sched", "noop"][..],
+        &["cluster", "--sched", "split-token", "--sched", "cfq"][..],
+        // cluster stands alone
+        &["cluster", "fig01"][..],
+        &["cluster", "--paper"][..],
+    ] {
+        let out = runner().args(args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "args: {args:?}");
+    }
+}
+
+#[test]
+fn cluster_runs_and_is_byte_identical_across_jobs() {
+    let common = [
+        "cluster",
+        "--kernels",
+        "9",
+        "--arrival",
+        "flash",
+        "--rate",
+        "15",
+        "--duration",
+        "1",
+        "--seed",
+        "3",
+    ];
+    let seq = runner()
+        .args(common)
+        .args(["--jobs", "1"])
+        .output()
+        .unwrap();
+    assert_eq!(
+        seq.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&seq.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&seq.stdout);
+    assert!(stdout.contains("Cluster SLO"), "{stdout}");
+    assert!(stdout.contains("flash arrivals"), "{stdout}");
+
+    let par = runner()
+        .args(common)
+        .args(["--jobs", "4"])
+        .output()
+        .unwrap();
+    assert_eq!(par.status.code(), Some(0));
+    assert_eq!(
+        seq.stdout, par.stdout,
+        "--jobs must not change simulated output"
+    );
+}
+
+#[test]
+fn cluster_csv_writes_request_samples() {
+    let tmp = std::env::temp_dir().join(format!("sim-cluster-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).unwrap();
+    let out = runner()
+        .current_dir(&tmp)
+        .args(["cluster", "--kernels", "3", "--duration", "1", "--csv"])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let csv = std::fs::read_to_string(tmp.join("results/cluster_samples.csv")).unwrap();
+    assert!(
+        csv.starts_with("req,shard,kind,arrival_s,done_s,e2e_ms,service_ms,repl_ms\n"),
+        "{csv}"
+    );
+    assert!(csv.lines().count() > 1, "samples must be written");
     std::fs::remove_dir_all(&tmp).ok();
 }
 

@@ -199,6 +199,56 @@ impl ProcessLogic for RunPattern {
     }
 }
 
+/// Buffered random writes self-paced to a target dirty rate: write
+/// `req` bytes at a random page-aligned offset, sleep, repeat, so the
+/// *attempted* dirtying rate is `rate` bytes/second. A scheduler cap
+/// below `rate` (Split-Token) slows the writer further; without one
+/// (CFQ idle class) the full rate reaches the page cache and becomes
+/// writeback.
+pub struct PacedWriter {
+    file: FileId,
+    pages: u64,
+    req: u64,
+    pause: SimDuration,
+    rng: SimRng,
+    write_next: bool,
+}
+
+impl PacedWriter {
+    /// Paced writer over a file of `bytes` bytes, targeting `rate`
+    /// bytes/second of dirtying.
+    pub fn new(file: FileId, bytes: u64, req: u64, rate: u64, seed: u64) -> Self {
+        let req = req.max(1);
+        let pause_ns = req.saturating_mul(1_000_000_000) / rate.max(1);
+        PacedWriter {
+            file,
+            pages: (bytes / PAGE_SIZE).max(1),
+            req,
+            pause: SimDuration::from_nanos(pause_ns),
+            rng: SimRng::seed_from_u64(seed),
+            write_next: true,
+        }
+    }
+}
+
+impl ProcessLogic for PacedWriter {
+    fn next(&mut self, _now: SimTime, _last: &Outcome) -> ProcAction {
+        if self.write_next {
+            self.write_next = false;
+            let span = sim_core::pages_for_bytes(self.req);
+            let page = self.rng.gen_range(self.pages.saturating_sub(span).max(1));
+            ProcAction::Syscall(SyscallKind::Write {
+                file: self.file,
+                offset: page * PAGE_SIZE,
+                len: self.req,
+            })
+        } else {
+            self.write_next = true;
+            ProcAction::Sleep(self.pause)
+        }
+    }
+}
+
 /// Appends one block and fsyncs, forever — the database-log workload (A
 /// in Figures 5 and 12).
 pub struct FsyncAppender {
@@ -584,5 +634,23 @@ mod tests {
         for off in offsets_of(&drive(&mut m, 20)) {
             assert!(off < 8 * 4096);
         }
+    }
+
+    #[test]
+    fn paced_writer_alternates_and_paces_to_the_rate() {
+        // 64 KiB per write at 4 MiB/s → 1/64th of a second between writes.
+        let mut p = PacedWriter::new(FileId(1), 1 << 20, 64 * 1024, 4 * 1024 * 1024, 7);
+        match p.next(SimTime::ZERO, &Outcome::None) {
+            ProcAction::Syscall(SyscallKind::Write { len, .. }) => assert_eq!(len, 64 * 1024),
+            other => panic!("{other:?}"),
+        }
+        match p.next(SimTime::ZERO, &Outcome::None) {
+            ProcAction::Sleep(d) => assert_eq!(d.as_nanos(), 1_000_000_000 / 64),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            p.next(SimTime::ZERO, &Outcome::None),
+            ProcAction::Syscall(SyscallKind::Write { .. })
+        ));
     }
 }

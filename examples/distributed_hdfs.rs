@@ -26,10 +26,16 @@ fn main() {
     const CAPPED: u32 = 1;
     const FREE: u32 = 2;
     for _ in 0..2 {
-        cluster.add_client(&mut world, CAPPED);
-        cluster.add_client(&mut world, FREE);
+        cluster
+            .add_client(&mut world, CAPPED)
+            .expect("cluster has workers");
+        cluster
+            .add_client(&mut world, FREE)
+            .expect("cluster has workers");
     }
-    cluster.set_account_rate(&mut world, CAPPED, 8 * MB);
+    cluster
+        .set_account_rate(&mut world, CAPPED, 8 * MB)
+        .expect("capped account exists and rate is nonzero");
 
     let window = SimDuration::from_secs(10);
     cluster.run(&mut world, window);
