@@ -117,6 +117,21 @@ impl MqDispatch {
         }
     }
 
+    /// How many software queues exist (one per process ever seen).
+    pub fn queue_count(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Advance the round-robin cursor by `by` queues without draining
+    /// anything. The chaos plane uses this to perturb which process's
+    /// software queue feeds the device next; per-process FIFO order
+    /// within each queue is untouched.
+    pub fn rotate(&mut self, by: usize) {
+        if !self.queues.is_empty() {
+            self.rr = (self.rr + by) % self.queues.len();
+        }
+    }
+
     /// Take the next staged request, round-robin across processes.
     pub fn pop_next(&mut self) -> Option<Request> {
         if self.queues.is_empty() {
@@ -205,6 +220,25 @@ mod tests {
         assert_eq!(mq.occupancy().of(Pid(10)), 0);
         assert_eq!(mq.occupancy().in_flight, 1);
         assert_eq!(mq.occupancy().depth, 8);
+    }
+
+    #[test]
+    fn rotate_shifts_which_queue_drains_next_but_keeps_per_pid_fifo() {
+        let mut mq = MqDispatch::new(4);
+        mq.submit(req(1, 10));
+        mq.submit(req(2, 10));
+        mq.submit(req(3, 11));
+        mq.submit(req(4, 11));
+        assert_eq!(mq.queue_count(), 2);
+        mq.rotate(1);
+        let order: Vec<u64> = std::iter::from_fn(|| mq.pop_next().map(|r| r.id.raw())).collect();
+        // Pid 11's queue goes first now, but 1 before 2 and 3 before 4
+        // still hold.
+        assert_eq!(order, vec![3, 1, 4, 2]);
+        // Rotating an empty dispatch is a no-op, not a division by zero.
+        let mut empty = MqDispatch::new(1);
+        empty.rotate(5);
+        assert!(empty.pop_next().is_none());
     }
 
     #[test]

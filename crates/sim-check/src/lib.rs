@@ -20,9 +20,11 @@ pub mod gen;
 pub mod program;
 pub mod sabotage;
 pub mod shrink;
+pub mod timing;
 
 pub use audit::{AuditCheckpoint, AuditEvent, AuditPlane, Auditor, Violation};
 pub use gen::{generate, GenConfig};
 pub use program::{FileRef, OpSpec, ProcSpec, ProgramSpec};
 pub use sabotage::Sabotaged;
 pub use shrink::shrink;
+pub use timing::TimingSabotaged;

@@ -1,0 +1,227 @@
+//! A deliberately broken scheduler wrapper with a *timing-dependent*
+//! bug, for mutation-testing the chaos plane.
+//!
+//! [`Sabotaged`](crate::Sabotaged) corrupts unconditionally after N adds
+//! — any batch that submits enough requests trips it. [`TimingSabotaged`]
+//! models the harder class of bug: a latency assumption tuned to the
+//! happy path. The wrapper keeps a cause-tag handoff side table keyed by
+//! request, sized on the belief that no request ever dwells in the
+//! device longer than a fixed horizon; entries past the horizon are
+//! (fictionally) evicted early. The wrapper timestamps every data
+//! request it dispatches, and when one *completes* after dwelling past
+//! the horizon, the eviction has already wrecked the handoff: every
+//! cause set submitted from then on is shifted.
+//!
+//! With the chaos plane off this bug is unreachable by construction:
+//! device service times are pure functions of the request and the
+//! device model, so plain `runner check` batches — serial or queued —
+//! see a fixed, bounded dwell distribution that stays under any horizon
+//! calibrated above it. Only adversarial timing that *stretches*
+//! service beyond its deterministic value pushes a request past the
+//! horizon — which is exactly what the chaos plane's completion class
+//! does, and queue depth compounds it, since requests also wait behind
+//! their stretched neighbours. The mutation test in sim-sweep asserts
+//! the plain batches miss this bug and a chaos batch catches and
+//! shrinks it.
+
+use sim_block::{Dispatch, ReqKind, Request};
+use sim_core::{CauseSet, IoError, Pid, RequestId, SimDuration, SimTime};
+use split_core::{BufferDirtied, BufferFreed, Gate, IoSched, SchedAttr, SchedCtx, SyscallInfo};
+
+use crate::sabotage::PID_SHIFT;
+
+/// A scheduler wrapper whose cause-tag corruption triggers only when a
+/// data request outlives a dwell horizon in the device.
+pub struct TimingSabotaged<S> {
+    inner: S,
+    /// The eviction horizon: the longest device dwell the (fictional)
+    /// handoff table tolerates before it loses an entry.
+    dwell: SimDuration,
+    /// Data requests dispatched but not yet completed, with dispatch
+    /// instants.
+    in_device: Vec<(RequestId, SimTime)>,
+    /// Latched once the race is observed; corrupts all later adds.
+    poisoned: bool,
+}
+
+impl<S> TimingSabotaged<S> {
+    /// Corrupt cause tags after any data request completes having dwelt
+    /// in the device longer than `dwell`.
+    pub fn new(inner: S, dwell: SimDuration) -> Self {
+        TimingSabotaged {
+            inner,
+            dwell,
+            in_device: Vec::new(),
+            poisoned: false,
+        }
+    }
+
+    /// Whether the planted race has fired.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    fn forget(&mut self, id: RequestId) {
+        if let Some(i) = self.in_device.iter().position(|(r, _)| *r == id) {
+            self.in_device.swap_remove(i);
+        }
+    }
+}
+
+impl<S: IoSched> IoSched for TimingSabotaged<S> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn configure(&mut self, pid: Pid, attr: SchedAttr) {
+        self.inner.configure(pid, attr);
+    }
+
+    fn syscall_enter(&mut self, sc: &SyscallInfo, ctx: &mut SchedCtx<'_>) -> Gate {
+        self.inner.syscall_enter(sc, ctx)
+    }
+
+    fn syscall_exit(&mut self, sc: &SyscallInfo, ctx: &mut SchedCtx<'_>) {
+        self.inner.syscall_exit(sc, ctx)
+    }
+
+    fn buffer_dirtied(&mut self, ev: &BufferDirtied, ctx: &mut SchedCtx<'_>) {
+        self.inner.buffer_dirtied(ev, ctx)
+    }
+
+    fn buffer_freed(&mut self, ev: &BufferFreed, ctx: &mut SchedCtx<'_>) {
+        self.inner.buffer_freed(ev, ctx)
+    }
+
+    fn block_add(&mut self, mut req: Request, ctx: &mut SchedCtx<'_>) {
+        if self.poisoned && !req.causes.is_empty() {
+            req.causes = CauseSet::from_pids(req.causes.iter().map(|p| Pid(p.raw() + PID_SHIFT)));
+        }
+        self.inner.block_add(req, ctx)
+    }
+
+    fn block_dispatch(&mut self, ctx: &mut SchedCtx<'_>) -> Dispatch {
+        let d = self.inner.block_dispatch(ctx);
+        if let Dispatch::Issue(req) = &d {
+            if req.kind == ReqKind::Data {
+                self.in_device.push((req.id, ctx.now));
+            }
+        }
+        d
+    }
+
+    fn block_completed(&mut self, req: &Request, ctx: &mut SchedCtx<'_>) {
+        if let Some((_, at)) = self.in_device.iter().find(|(r, _)| *r == req.id) {
+            if ctx.now.since(*at) > self.dwell {
+                self.poisoned = true;
+            }
+        }
+        self.forget(req.id);
+        self.inner.block_completed(req, ctx)
+    }
+
+    fn block_failed(&mut self, req: &Request, error: IoError, ctx: &mut SchedCtx<'_>) {
+        self.forget(req.id);
+        self.inner.block_failed(req, error, ctx)
+    }
+
+    fn timer_fired(&mut self, ctx: &mut SchedCtx<'_>) {
+        self.inner.timer_fired(ctx)
+    }
+
+    fn pick_dirty_waiter(&mut self, waiters: &[Pid]) -> usize {
+        self.inner.pick_dirty_waiter(waiters)
+    }
+
+    fn queued(&self) -> usize {
+        self.inner.queued()
+    }
+
+    fn audit(&self, quiesced: bool) -> Vec<String> {
+        self.inner.audit(quiesced)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_block::Noop;
+    use sim_core::{BlockNo, FileId, SimTime};
+    use sim_device::{HddModel, IoDir};
+    use split_core::BlockOnly;
+
+    fn req(id: u64, kind: ReqKind) -> Request {
+        Request {
+            id: RequestId(id),
+            dir: IoDir::Write,
+            start: BlockNo(id),
+            nblocks: 1,
+            submitter: Pid(10),
+            causes: CauseSet::of(Pid(10)),
+            sync: true,
+            ioprio: Default::default(),
+            deadline: None,
+            submitted_at: SimTime::ZERO,
+            file: Some(FileId(1)),
+            kind,
+        }
+    }
+
+    fn issue(s: &mut TimingSabotaged<BlockOnly<Noop>>, ctx: &mut SchedCtx<'_>) -> Request {
+        match s.block_dispatch(ctx) {
+            Dispatch::Issue(r) => r,
+            other => panic!("expected an issue, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn a_data_request_outliving_the_horizon_poisons_later_adds() {
+        let dev = HddModel::new();
+        let dwell = SimDuration::from_millis(1);
+        let mut s = TimingSabotaged::new(BlockOnly::new(Noop::new()), dwell);
+
+        // Dispatch a data request at t=0.
+        let mut ctx = SchedCtx::new(SimTime::ZERO, &dev);
+        s.block_add(req(1, ReqKind::Data), &mut ctx);
+        let data = issue(&mut s, &mut ctx);
+
+        // It completes past the dwell horizon: the handoff table has
+        // already lost its entry, the race fires.
+        let late = SimTime::ZERO + SimDuration::from_millis(5);
+        let mut ctx = SchedCtx::new(late, &dev);
+        s.block_completed(&data, &mut ctx);
+        assert!(s.poisoned(), "race observed");
+
+        // Every add from now on carries shifted cause tags.
+        s.block_add(req(2, ReqKind::Data), &mut ctx);
+        let corrupted = issue(&mut s, &mut ctx);
+        assert!(corrupted.causes.contains(Pid(10 + PID_SHIFT)));
+    }
+
+    #[test]
+    fn dwell_under_the_horizon_stays_healthy() {
+        let dev = HddModel::new();
+        let dwell = SimDuration::from_millis(1);
+        let mut s = TimingSabotaged::new(BlockOnly::new(Noop::new()), dwell);
+
+        // Data completes inside the horizon — no poison, even when a
+        // journal commit runs right after it.
+        let mut ctx = SchedCtx::new(SimTime::ZERO, &dev);
+        s.block_add(req(1, ReqKind::Data), &mut ctx);
+        let data = issue(&mut s, &mut ctx);
+        let soon = SimTime::ZERO + SimDuration::from_micros(10);
+        let mut ctx = SchedCtx::new(soon, &dev);
+        s.block_completed(&data, &mut ctx);
+        s.block_add(req(2, ReqKind::Journal), &mut ctx);
+        let commit = issue(&mut s, &mut ctx);
+        let mut ctx = SchedCtx::new(soon + SimDuration::from_secs(1), &dev);
+        s.block_completed(&commit, &mut ctx);
+        assert!(!s.poisoned(), "dwell under the horizon");
+
+        // Journal requests are not in the handoff table: a slow commit
+        // does not trip the bug either.
+        s.block_add(req(3, ReqKind::Data), &mut ctx);
+        let clean = issue(&mut s, &mut ctx);
+        assert!(clean.causes.contains(Pid(10)), "tags untouched");
+    }
+}

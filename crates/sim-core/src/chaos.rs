@@ -1,0 +1,385 @@
+//! The chaos plane: seeded adversarial timing perturbation.
+//!
+//! Every correctness result in this repo is otherwise proven under *one*
+//! legal timing per seed. The chaos plane (the `scx_chaos` analogue)
+//! perturbs that timing — within legal bounds — so the auditors and the
+//! differential check harness explore many legal interleavings instead of
+//! the single golden one.
+//!
+//! Four perturbation classes, each drawn from its own independent RNG
+//! stream (`SimRng::stream(seed, class)`), so toggling one class never
+//! changes what another class draws:
+//!
+//! * [`ChaosClass::Writeback`] (`wb`) — scales each writeback-daemon poll
+//!   interval by a factor in `[1 - j, 1 + j]`, so background writeback
+//!   wakes early or late instead of on the exact `wb_tick` grid.
+//! * [`ChaosClass::CpuSlice`] (`cpu`) — adds a bounded, non-negative
+//!   wakeup delay to every process CPU slice (compute and post-syscall),
+//!   reordering runnable processes the way a shaken CPU scheduler would.
+//! * [`ChaosClass::Journal`] (`journal`) — scales the jbd2 commit timer's
+//!   poll interval the same way `wb` scales writeback, moving periodic
+//!   commits off their grid.
+//! * [`ChaosClass::Completion`] (`complete`) — stretches device service
+//!   times by a factor in `[1, 1 + s]` and rotates the blk-mq software
+//!   queue round-robin cursor, reordering queued-device completions
+//!   within the in-flight window.
+//!
+//! Legality bounds, by construction:
+//!
+//! * every perturbed interval stays strictly positive, so nothing is ever
+//!   scheduled into the past (late schedules are a hard error);
+//! * CPU delays and service stretches only *add* time — no event is moved
+//!   earlier than its unperturbed cause;
+//! * queue-cursor rotation only re-picks which software queue drains
+//!   next: per-process FIFO order within each queue is untouched, and
+//!   completion reorder stays within the device's in-flight window.
+//!
+//! The plane follows the fault/audit/profiler idiom: `Option`-installed
+//! through the kernel config, and the `None` path is byte-identical to a
+//! build without the plane.
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// One perturbation class (an independent seed stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosClass {
+    /// Writeback-daemon wakeup jitter (`wb`).
+    Writeback,
+    /// Process CPU-slice wakeup delay (`cpu`).
+    CpuSlice,
+    /// Journal commit-timer jitter (`journal`).
+    Journal,
+    /// Queued-device completion order: service stretch + queue rotation
+    /// (`complete`).
+    Completion,
+}
+
+impl ChaosClass {
+    /// Every class, in seed-stream order.
+    pub const ALL: [ChaosClass; 4] = [
+        ChaosClass::Writeback,
+        ChaosClass::CpuSlice,
+        ChaosClass::Journal,
+        ChaosClass::Completion,
+    ];
+
+    /// The CLI name (`--chaos-classes wb,cpu,journal,complete`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosClass::Writeback => "wb",
+            ChaosClass::CpuSlice => "cpu",
+            ChaosClass::Journal => "journal",
+            ChaosClass::Completion => "complete",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<ChaosClass> {
+        Some(match s {
+            "wb" => ChaosClass::Writeback,
+            "cpu" => ChaosClass::CpuSlice,
+            "journal" => ChaosClass::Journal,
+            "complete" => ChaosClass::Completion,
+            _ => return None,
+        })
+    }
+
+    /// Seed-stream index; also the index into [`ChaosConfig`]'s toggles.
+    fn index(self) -> usize {
+        match self {
+            ChaosClass::Writeback => 0,
+            ChaosClass::CpuSlice => 1,
+            ChaosClass::Journal => 2,
+            ChaosClass::Completion => 3,
+        }
+    }
+}
+
+/// The queue-rotation sub-stream of the completion class. Rotation and
+/// service stretch share one toggle but must not share one RNG: the
+/// stretch stream may move into the queued device while the rotation
+/// stream stays with the kernel's dispatch pump.
+const ROTATION_STREAM: u64 = 4;
+
+/// Chaos plane configuration: one root seed, per-class toggles, and the
+/// legality bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Root seed; each class derives stream `(seed, class_index)`.
+    pub seed: u64,
+    /// Which classes actively perturb (a disabled class draws nothing).
+    enabled: [bool; 4],
+    /// Writeback tick scale half-width: each poll interval is scaled by a
+    /// factor in `[1 - wb_jitter, 1 + wb_jitter]`, floored at 1 ns.
+    pub wb_jitter: f64,
+    /// Maximum added CPU-slice wakeup delay.
+    pub cpu_delay: SimDuration,
+    /// Journal commit-timer scale half-width (same shape as `wb_jitter`).
+    pub journal_jitter: f64,
+    /// Maximum added service-time fraction: each service time is scaled
+    /// by a factor in `[1, 1 + completion_stretch]`.
+    pub completion_stretch: f64,
+}
+
+impl ChaosConfig {
+    /// All four classes enabled at the default bounds.
+    pub fn with_seed(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            enabled: [true; 4],
+            wb_jitter: 0.5,
+            cpu_delay: SimDuration::from_micros(200),
+            journal_jitter: 0.5,
+            completion_stretch: 0.5,
+        }
+    }
+
+    /// Only the listed classes enabled (an empty list perturbs nothing —
+    /// the byte-identity regression tests use exactly that).
+    pub fn only(seed: u64, classes: &[ChaosClass]) -> Self {
+        let mut cfg = ChaosConfig::with_seed(seed);
+        cfg.enabled = [false; 4];
+        for c in classes {
+            cfg.enabled[c.index()] = true;
+        }
+        cfg
+    }
+
+    /// Whether `class` actively perturbs.
+    pub fn is_enabled(&self, class: ChaosClass) -> bool {
+        self.enabled[class.index()]
+    }
+
+    /// The enabled classes, in seed-stream order.
+    pub fn classes(&self) -> Vec<ChaosClass> {
+        ChaosClass::ALL
+            .into_iter()
+            .filter(|c| self.is_enabled(*c))
+            .collect()
+    }
+}
+
+/// The completion class's service-stretch stream, packaged so the queued
+/// device can own it: stretches service times by a factor in
+/// `[1, 1 + max_stretch)`, exactly the mechanism of a fault-plane spike
+/// (completions only move later, never earlier).
+#[derive(Debug, Clone)]
+pub struct CompletionJitter {
+    rng: SimRng,
+    max_stretch: f64,
+}
+
+impl CompletionJitter {
+    /// Draw the next service-time stretch factor, always `>= 1`.
+    pub fn stretch(&mut self) -> f64 {
+        1.0 + self.rng.gen_f64() * self.max_stretch.max(0.0)
+    }
+}
+
+/// The runtime chaos plane built from a [`ChaosConfig`]. Lives inside
+/// the kernel (`Option`-installed); every draw method is the identity
+/// and draws nothing when its class is disabled.
+#[derive(Debug)]
+pub struct ChaosPlane {
+    cfg: ChaosConfig,
+    wb: SimRng,
+    cpu: SimRng,
+    journal: SimRng,
+    /// `None` after [`ChaosPlane::take_completion_jitter`] moved the
+    /// stream into the queued device (the serial plane keeps it here).
+    completion: Option<CompletionJitter>,
+    rotation: SimRng,
+}
+
+impl ChaosPlane {
+    /// Build the plane; each class gets stream `(cfg.seed, class_index)`.
+    pub fn new(cfg: &ChaosConfig) -> Self {
+        ChaosPlane {
+            cfg: *cfg,
+            wb: SimRng::stream(cfg.seed, ChaosClass::Writeback.index() as u64),
+            cpu: SimRng::stream(cfg.seed, ChaosClass::CpuSlice.index() as u64),
+            journal: SimRng::stream(cfg.seed, ChaosClass::Journal.index() as u64),
+            completion: Some(CompletionJitter {
+                rng: SimRng::stream(cfg.seed, ChaosClass::Completion.index() as u64),
+                max_stretch: cfg.completion_stretch,
+            }),
+            rotation: SimRng::stream(cfg.seed, ROTATION_STREAM),
+        }
+    }
+
+    /// The configuration the plane was built from.
+    pub fn config(&self) -> &ChaosConfig {
+        &self.cfg
+    }
+
+    /// Scale `interval` by a factor in `[1 - j, 1 + j]`, floored at 1 ns
+    /// so the jittered timer always lands strictly in the future.
+    fn jitter_interval(rng: &mut SimRng, interval: SimDuration, j: f64) -> SimDuration {
+        let j = j.clamp(0.0, 1.0);
+        let factor = 1.0 - j + rng.gen_f64() * 2.0 * j;
+        interval.mul_f64(factor).max(SimDuration::from_nanos(1))
+    }
+
+    /// The writeback daemon's next poll interval.
+    pub fn wb_tick(&mut self, base: SimDuration) -> SimDuration {
+        if !self.cfg.is_enabled(ChaosClass::Writeback) {
+            return base;
+        }
+        Self::jitter_interval(&mut self.wb, base, self.cfg.wb_jitter)
+    }
+
+    /// Extra wakeup delay for one process CPU slice (zero when off).
+    pub fn cpu_delay(&mut self) -> SimDuration {
+        if !self.cfg.is_enabled(ChaosClass::CpuSlice) {
+            return SimDuration::ZERO;
+        }
+        let max = self.cfg.cpu_delay.as_nanos();
+        SimDuration::from_nanos(self.cpu.gen_range(max.saturating_add(1)))
+    }
+
+    /// The journal commit timer's next poll interval.
+    pub fn journal_tick(&mut self, base: SimDuration) -> SimDuration {
+        if !self.cfg.is_enabled(ChaosClass::Journal) {
+            return base;
+        }
+        Self::jitter_interval(&mut self.journal, base, self.cfg.journal_jitter)
+    }
+
+    /// The next serial-device service-time stretch factor (1.0 when off).
+    pub fn service_stretch(&mut self) -> f64 {
+        if !self.cfg.is_enabled(ChaosClass::Completion) {
+            return 1.0;
+        }
+        match self.completion.as_mut() {
+            Some(j) => j.stretch(),
+            None => 1.0,
+        }
+    }
+
+    /// Detach the service-stretch stream for the queued device to own.
+    /// Returns `None` when the completion class is off (the device then
+    /// stays chaos-free and byte-identical).
+    pub fn take_completion_jitter(&mut self) -> Option<CompletionJitter> {
+        if !self.cfg.is_enabled(ChaosClass::Completion) {
+            return None;
+        }
+        self.completion.take()
+    }
+
+    /// How far to rotate the blk-mq round-robin cursor before the next
+    /// software-queue pop; uniform in `[0, queues)`, zero when off.
+    pub fn mq_rotation(&mut self, queues: usize) -> usize {
+        if queues < 2 || !self.cfg.is_enabled(ChaosClass::Completion) {
+            return 0;
+        }
+        self.rotation.gen_range(queues as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_names_round_trip() {
+        for c in ChaosClass::ALL {
+            assert_eq!(ChaosClass::parse(c.name()), Some(c));
+        }
+        assert_eq!(ChaosClass::parse("frobnicate"), None);
+    }
+
+    #[test]
+    fn disabled_classes_are_the_identity_and_draw_nothing() {
+        let mut p = ChaosPlane::new(&ChaosConfig::only(7, &[]));
+        let base = SimDuration::from_millis(200);
+        for _ in 0..100 {
+            assert_eq!(p.wb_tick(base), base);
+            assert_eq!(p.cpu_delay(), SimDuration::ZERO);
+            assert_eq!(p.journal_tick(base), base);
+            assert_eq!(p.service_stretch(), 1.0);
+            assert_eq!(p.mq_rotation(8), 0);
+        }
+        assert!(p.take_completion_jitter().is_none());
+    }
+
+    #[test]
+    fn draws_respect_the_legality_bounds() {
+        let cfg = ChaosConfig::with_seed(42);
+        let mut p = ChaosPlane::new(&cfg);
+        let base = SimDuration::from_millis(200);
+        for _ in 0..10_000 {
+            let wb = p.wb_tick(base);
+            assert!(wb > SimDuration::ZERO, "never schedule into the past");
+            assert!(wb >= base.mul_f64(1.0 - cfg.wb_jitter - 1e-9));
+            assert!(wb <= base.mul_f64(1.0 + cfg.wb_jitter + 1e-9));
+            let d = p.cpu_delay();
+            assert!(d <= cfg.cpu_delay, "cpu delay within bound");
+            let jt = p.journal_tick(base);
+            assert!(jt > SimDuration::ZERO);
+            let s = p.service_stretch();
+            assert!(
+                (1.0..=1.0 + cfg.completion_stretch).contains(&s),
+                "completions only move later: {s}"
+            );
+            assert!(p.mq_rotation(5) < 5);
+        }
+        // A tiny base interval still never reaches zero.
+        assert!(p.wb_tick(SimDuration::from_nanos(1)) >= SimDuration::from_nanos(1));
+    }
+
+    #[test]
+    fn class_streams_are_independent() {
+        // Toggling one class off must not change what the others draw.
+        let all = ChaosConfig::with_seed(9);
+        let no_cpu = ChaosConfig::only(
+            9,
+            &[
+                ChaosClass::Writeback,
+                ChaosClass::Journal,
+                ChaosClass::Completion,
+            ],
+        );
+        let mut a = ChaosPlane::new(&all);
+        let mut b = ChaosPlane::new(&no_cpu);
+        let base = SimDuration::from_millis(200);
+        for _ in 0..200 {
+            // Interleave cpu draws on `a` only; wb/journal/completion
+            // sequences must stay identical.
+            let _ = a.cpu_delay();
+            assert_eq!(a.wb_tick(base), b.wb_tick(base));
+            assert_eq!(a.journal_tick(base), b.journal_tick(base));
+            assert_eq!(a.service_stretch(), b.service_stretch());
+            assert_eq!(a.mq_rotation(4), b.mq_rotation(4));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_draws() {
+        let cfg = ChaosConfig::with_seed(3);
+        let mut a = ChaosPlane::new(&cfg);
+        let mut b = ChaosPlane::new(&cfg);
+        let base = SimDuration::from_secs(1);
+        for _ in 0..100 {
+            assert_eq!(a.wb_tick(base), b.wb_tick(base));
+            assert_eq!(a.cpu_delay(), b.cpu_delay());
+            assert_eq!(a.journal_tick(base), b.journal_tick(base));
+            assert_eq!(a.service_stretch(), b.service_stretch());
+        }
+    }
+
+    #[test]
+    fn completion_jitter_detaches_for_the_queued_device() {
+        let mut p = ChaosPlane::new(&ChaosConfig::with_seed(5));
+        let mut j = p.take_completion_jitter().expect("class enabled");
+        // Once detached, the plane's serial-path stretch goes quiet and
+        // the detached handle keeps drawing the same stream.
+        assert_eq!(p.service_stretch(), 1.0);
+        let mut fresh = ChaosPlane::new(&ChaosConfig::with_seed(5));
+        for _ in 0..50 {
+            assert_eq!(j.stretch(), fresh.service_stretch());
+            assert!(j.stretch() >= 1.0);
+            let _ = fresh.service_stretch();
+        }
+    }
+}

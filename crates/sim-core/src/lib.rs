@@ -18,6 +18,7 @@
 pub mod alloc_count;
 pub mod arena;
 pub mod causes;
+pub mod chaos;
 pub mod error;
 pub mod event;
 pub mod hash;
@@ -29,6 +30,7 @@ pub mod time;
 
 pub use arena::{IdWindow, Slab};
 pub use causes::CauseSet;
+pub use chaos::{ChaosClass, ChaosConfig, ChaosPlane, CompletionJitter};
 pub use error::{IoError, IoErrorKind, IoResult};
 pub use event::{EventQueue, ScheduledEvent};
 pub use hash::{FastBuildHasher, FastMap, FastSet};

@@ -26,7 +26,7 @@
 //! `accept` / `complete` calls and turn the returned [`Started`]
 //! records into DES completion events.
 
-use sim_core::{RequestId, SimDuration};
+use sim_core::{CompletionJitter, RequestId, SimDuration};
 
 use crate::{DeviceStats, DiskModel, DiskRequestShape};
 
@@ -108,6 +108,9 @@ pub struct QueuedDevice {
     free_slots: Vec<u32>,
     seq: u64,
     stats: DeviceStats,
+    /// Chaos-plane service-time jitter; `None` keeps the device
+    /// byte-identical to a build without the chaos plane.
+    chaos: Option<CompletionJitter>,
 }
 
 impl QueuedDevice {
@@ -124,7 +127,16 @@ impl QueuedDevice {
             free_slots,
             seq: 0,
             stats: DeviceStats::default(),
+            chaos: None,
         }
+    }
+
+    /// Install the chaos plane's completion-jitter stream: every service
+    /// time from here on is stretched by a seeded factor `>= 1`, the
+    /// same legal mechanism as a fault-plane spike, so completions
+    /// reorder within the in-flight window but never move earlier.
+    pub fn install_chaos(&mut self, jitter: CompletionJitter) {
+        self.chaos = Some(jitter);
     }
 
     /// The wrapped cost model (peek-only; scheduler cost estimates).
@@ -249,6 +261,9 @@ impl QueuedDevice {
         if let Some(factor) = w.spike {
             service = service.mul_f64(factor.max(1.0));
         }
+        if let Some(chaos) = self.chaos.as_mut() {
+            service = service.mul_f64(chaos.stretch().max(1.0));
+        }
         self.stats.record(&w.shape, service);
         self.active.push(Active {
             id: w.id,
@@ -347,6 +362,33 @@ mod tests {
         dev.complete(RequestId(1));
         let (s3, _) = dev.accept(RequestId(4), rd(24), None);
         assert_eq!(s3, 0, "freed tag 0 reused before tag 3");
+    }
+
+    #[test]
+    fn installed_chaos_stretches_but_never_shrinks_service() {
+        use sim_core::{ChaosConfig, ChaosPlane};
+        let mut plain =
+            QueuedDevice::new(Box::new(SsdModel::new()), QueuedDeviceConfig::with_depth(1));
+        let mut shaken =
+            QueuedDevice::new(Box::new(SsdModel::new()), QueuedDeviceConfig::with_depth(1));
+        let jitter = ChaosPlane::new(&ChaosConfig::with_seed(11))
+            .take_completion_jitter()
+            .unwrap();
+        shaken.install_chaos(jitter);
+        let mut stretched_any = false;
+        for i in 0..64u64 {
+            let (_, a) = plain.accept(RequestId(i), rd(i * 8), None);
+            let (_, b) = shaken.accept(RequestId(i), rd(i * 8), None);
+            assert!(b[0].service >= a[0].service, "chaos only adds time");
+            assert!(
+                b[0].service <= a[0].service.mul_f64(1.5 + 1e-9),
+                "stretch stays within the configured bound"
+            );
+            stretched_any |= b[0].service > a[0].service;
+            plain.complete(RequestId(i));
+            shaken.complete(RequestId(i));
+        }
+        assert!(stretched_any, "the jitter stream must actually perturb");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use sim_block::{BlockDeadline, Cfq, DeadlineConfig, Noop};
 use sim_cache::CacheConfig;
-use sim_core::KernelId;
+use sim_core::{ChaosConfig, KernelId};
 use sim_device::{HddModel, SsdModel};
 pub use sim_kernel::FsChoice;
 use sim_kernel::{DeviceKind, KernelConfig, QueuePlane, World};
@@ -126,6 +126,9 @@ pub struct Setup {
     /// serial device; `Some(d)` turns on the queued plane (NCQ/blk-mq),
     /// where `Some(1)` is byte-identical to `None`.
     pub queue_depth: Option<u32>,
+    /// Adversarial timing perturbation. `None` (the default) keeps runs
+    /// byte-identical to a build without the chaos plane.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Setup {
@@ -141,6 +144,7 @@ impl Setup {
             dirty_ratio: 0.20,
             seed: 0,
             queue_depth: None,
+            chaos: None,
         }
     }
 
@@ -185,6 +189,12 @@ impl Setup {
         self.queue_depth = Some(d);
         self
     }
+
+    /// Run under the chaos plane (adversarial timing perturbation).
+    pub fn chaos(mut self, cfg: ChaosConfig) -> Self {
+        self.chaos = Some(cfg);
+        self
+    }
 }
 
 /// The kernel configuration a setup implies (shared with the check
@@ -201,6 +211,7 @@ pub fn kernel_config(setup: Setup) -> KernelConfig {
         pdflush: setup.sched.wants_pdflush(),
         gate_reads: setup.sched.gates_reads(),
         fs_seed: setup.seed,
+        chaos: setup.chaos,
         queue: match setup.queue_depth {
             Some(d) => QueuePlane::Queued { depth: d },
             None => QueuePlane::Serial,

@@ -10,8 +10,8 @@ use sim_check::{AuditCheckpoint, AuditEvent, AuditPlane};
 use sim_core::prof::{self, Phase, Profiler};
 use sim_core::stats::TimeSeries;
 use sim_core::{
-    CauseSet, FileId, IdAlloc, IoError, IoErrorKind, KernelId, Pid, RequestId, SimDuration,
-    SimTime, PAGE_SIZE,
+    CauseSet, ChaosConfig, ChaosPlane, FileId, IdAlloc, IoError, IoErrorKind, KernelId, Pid,
+    RequestId, SimDuration, SimTime, PAGE_SIZE,
 };
 use sim_core::{FastMap, FastSet};
 use sim_device::{DiskModel, HddModel, QueuedDevice, QueuedDeviceConfig, SsdModel};
@@ -203,6 +203,12 @@ pub struct KernelConfig {
     /// Cross-layer invariant auditors. `None` (the default) keeps every
     /// hot path free of audit bookkeeping, mirroring the fault plane.
     pub audit: Option<AuditPlane>,
+    /// Adversarial timing perturbation (the chaos plane). `None` (the
+    /// default) keeps every run byte-identical to a build without the
+    /// plane; `Some` jitters writeback wakeups, CPU slices, journal
+    /// commit timing, and queued-device completion order within legal
+    /// bounds (see [`sim_core::chaos`]).
+    pub chaos: Option<ChaosConfig>,
     /// How the block layer drives a physical device (serial single-slot
     /// or the queued multi-request plane).
     pub queue: QueuePlane,
@@ -221,6 +227,7 @@ impl Default for KernelConfig {
             wb_tick: SimDuration::from_millis(200),
             fs_seed: 0,
             audit: None,
+            chaos: None,
             queue: QueuePlane::Serial,
         }
     }
@@ -328,6 +335,10 @@ pub struct Kernel {
     /// Invariant auditors, if installed (same opt-in contract as the
     /// fault plane).
     audit: Option<AuditPlane>,
+    /// Chaos plane, if installed (same opt-in contract as the fault
+    /// plane). Its completion-jitter stream lives inside the queued
+    /// device when one exists.
+    chaos: Option<ChaosPlane>,
     /// Self-profiler plane, picked up from the thread at construction
     /// (see [`sim_core::prof::install_thread`]). `None` (the default)
     /// keeps hot paths free of profiling beyond one `Option` check;
@@ -373,7 +384,20 @@ impl Kernel {
         let mut cache = PageCache::new(cfg.cache);
         cache.set_tracer(tracer.clone());
         let cores = cfg.cores;
-        let device = ActiveDevice::resolve(device, cfg.queue);
+        let mut device = ActiveDevice::resolve(device, cfg.queue);
+        let chaos = cfg.chaos.as_ref().map(ChaosPlane::new);
+        let chaos = chaos.map(|mut plane| {
+            // On the queued plane the completion-jitter stream moves into
+            // the device, which stretches service times where it already
+            // applies fault spikes; the serial plane keeps the stream
+            // here and applies it at issue.
+            if let ActiveDevice::Queued { dev, .. } = &mut device {
+                if let Some(jitter) = plane.take_completion_jitter() {
+                    dev.install_chaos(jitter);
+                }
+            }
+            plane
+        });
         Kernel {
             id,
             cfg,
@@ -399,6 +423,7 @@ impl Kernel {
             tracer,
             fault_plane: None,
             audit,
+            chaos,
             prof: prof::thread_profiler(),
             read_miss_scratch: Vec::new(),
             read_extent_scratch: Vec::new(),
@@ -634,10 +659,38 @@ impl Kernel {
     /// Arm the kernel's periodic timers; called once by the world.
     pub(crate) fn start_timers(&mut self, bus: &mut Bus) {
         let now = bus.q.now();
+        let fs_at = self.next_fs_timer(now);
+        bus.q.schedule(fs_at, Event::FsTimer { k: self.id });
+        let wb = self.next_wb_tick();
         bus.q
-            .schedule(self.fs.next_timer(now), Event::FsTimer { k: self.id });
-        bus.q
-            .schedule(now + self.cfg.wb_tick, Event::WritebackTick { k: self.id });
+            .schedule(now + wb, Event::WritebackTick { k: self.id });
+    }
+
+    /// When the journal timer fires next, chaos jitter applied. The
+    /// perturbed instant is always strictly after `now`.
+    fn next_fs_timer(&mut self, now: SimTime) -> SimTime {
+        let at = self.fs.next_timer(now);
+        match self.chaos.as_mut() {
+            Some(c) => now + c.journal_tick(at.since(now)),
+            None => at,
+        }
+    }
+
+    /// The writeback daemon's next poll interval, chaos jitter applied.
+    fn next_wb_tick(&mut self) -> SimDuration {
+        match self.chaos.as_mut() {
+            Some(c) => c.wb_tick(self.cfg.wb_tick),
+            None => self.cfg.wb_tick,
+        }
+    }
+
+    /// Extra chaos wakeup delay for one CPU slice (zero without chaos):
+    /// the analogue of scx_chaos stretching scheduling latency.
+    fn chaos_cpu_delay(&mut self) -> SimDuration {
+        match self.chaos.as_mut() {
+            Some(c) => c.cpu_delay(),
+            None => SimDuration::ZERO,
+        }
     }
 
     /// Begin an injected syscall on an external process.
@@ -674,17 +727,16 @@ impl Kernel {
                 let out = self.fs.timer(&mut self.cache, now);
                 prof::tock(&self.prof, Phase::Journal, t0);
                 self.absorb(out, bus);
-                bus.q
-                    .schedule(self.fs.next_timer(now), Event::FsTimer { k: self.id });
+                let at = self.next_fs_timer(now);
+                bus.q.schedule(at, Event::FsTimer { k: self.id });
             }
             Event::WritebackTick { .. } => {
                 if self.cfg.pdflush && self.cache.over_background() {
                     self.kick_writeback(bus);
                 }
-                bus.q.schedule(
-                    bus.q.now() + self.cfg.wb_tick,
-                    Event::WritebackTick { k: self.id },
-                );
+                let tick = self.next_wb_tick();
+                bus.q
+                    .schedule(bus.q.now() + tick, Event::WritebackTick { k: self.id });
             }
             Event::AppTimer { .. } => unreachable!("app timers are handled by the world"),
         }
@@ -739,7 +791,7 @@ impl Kernel {
             }
             ProcAction::Compute(d) => {
                 self.cpu.task_runnable();
-                let stretched = self.cpu.stretch(d);
+                let stretched = self.cpu.stretch(d) + self.chaos_cpu_delay();
                 self.procs.get_mut(&pid).expect("checked").state = PState::Computing;
                 bus.q
                     .schedule(bus.q.now() + stretched, Event::ProcStep { k: self.id, pid });
@@ -1097,7 +1149,7 @@ impl Kernel {
         } else {
             proc.state = PState::PostCpu;
             self.cpu.task_runnable();
-            let stretched = self.cpu.stretch(cpu);
+            let stretched = self.cpu.stretch(cpu) + self.chaos_cpu_delay();
             bus.q
                 .schedule(now + stretched, Event::ProcStep { k: self.id, pid });
         }
@@ -1242,6 +1294,11 @@ impl Kernel {
                         None => {}
                     }
                 }
+                if let Some(c) = self.chaos.as_mut() {
+                    // Serial-plane completion chaos: stretch the service
+                    // time exactly like a fault spike (never shrink).
+                    service = service.mul_f64(c.service_stretch().max(1.0));
+                }
                 if self.audit.is_some() {
                     let now = bus.q.now();
                     self.audit_event(
@@ -1356,6 +1413,11 @@ impl Kernel {
                 };
                 if !dev.can_accept() {
                     return;
+                }
+                if let Some(c) = self.chaos.as_mut() {
+                    // Completion-order chaos: rotate which software queue
+                    // feeds the device next. Per-pid FIFO is untouched.
+                    mq.rotate(c.mq_rotation(mq.queue_count()));
                 }
                 let Some(req) = mq.pop_next() else { return };
                 let spike = self.req_meta.get(&req.id).and_then(|m| m.spike);

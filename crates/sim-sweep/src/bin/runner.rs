@@ -6,7 +6,8 @@
 //! runner sweep [FIGURE...] [--seeds N] [--jobs N] [--root-seed N]
 //!              [--sched NAME]... [--device NAME]... [--paper]
 //! runner check [--programs N] [--jobs N] [--root-seed N] [--shrink]
-//!              [--queue-depth N] [--replay FILE]
+//!              [--queue-depth N] [--chaos] [--chaos-seed N]
+//!              [--chaos-classes LIST] [--replay FILE]
 //! runner cluster [--kernels N] [--jobs N] [--arrival NAME] [--rate R]
 //!                [--duration SECS] [--seed N] [--sched NAME] [--csv]
 //! ```
@@ -38,6 +39,15 @@
 //! re-checks a previously printed spec instead of generating.
 //! `--queue-depth N` replays the matrix on the queued-device plane at
 //! hardware queue depth N instead of the legacy serial device.
+//! `--chaos` installs the chaos plane: every run's writeback wakeups,
+//! CPU slices, journal commit timing, and queued-device completion
+//! order are perturbed within legal bounds, seeded by `--chaos-seed N`
+//! (default 0) so a failing batch replays identically.
+//! `--chaos-classes wb,cpu,journal,complete` restricts perturbation to
+//! the listed classes (each draws from an independent seed stream, so
+//! the others' draws are unchanged). The differential oracle is
+//! unchanged under chaos: the noop reference runs under the same chaos
+//! config, and shrinking replays candidates under it too.
 //! `--inject-late` plants one deliberately-late event per run, proving
 //! the event-queue late-schedule gate fails the run (the exit code must
 //! be 1 with it, 0 without). Exit code 1 on any violation.
@@ -78,6 +88,7 @@ use exp::registry::{FigureId, Profile};
 use exp::setup::{DeviceChoice, SchedChoice};
 use sim_core::alloc_count;
 use sim_core::prof::{self, Phase, Profiler};
+use sim_core::{ChaosClass, ChaosConfig};
 use sim_sweep::{
     bench_batch, run_check, run_figures_with, run_replay, run_sweep, CheckConfig, SweepSpec,
 };
@@ -87,7 +98,8 @@ usage: runner [--paper] [--csv] [--trace] [--faults] [--jobs N] [TARGET...]
        runner sweep [FIGURE...] [--seeds N] [--jobs N] [--root-seed N]
                     [--sched NAME]... [--device NAME]... [--paper]
        runner check [--programs N] [--jobs N] [--root-seed N] [--shrink]
-                    [--queue-depth N] [--inject-late] [--replay FILE]
+                    [--queue-depth N] [--chaos] [--chaos-seed N]
+                    [--chaos-classes LIST] [--inject-late] [--replay FILE]
        runner profile FIGURE [--paper]
        runner bench [--reps N] [--check-programs N] [--root-seed N]
                     [--out DIR] [--baseline FILE]
@@ -100,7 +112,8 @@ targets: fig01 fig03 fig05 fig06 fig09 fig10 fig11 fig12 fig13 fig14
 scheds:  noop cfq block-deadline scs-token afq split-deadline
          split-pdflush split-token split-noop
 devices: hdd ssd
-arrivals: poisson diurnal flash";
+arrivals: poisson diurnal flash
+chaos classes: wb cpu journal complete";
 
 fn die(msg: &str) -> ! {
     eprintln!("runner: {msg}");
@@ -154,6 +167,9 @@ struct Cli {
     programs: Option<usize>,
     queue_depth: Option<u32>,
     inject_late: bool,
+    chaos: bool,
+    chaos_seed: Option<u64>,
+    chaos_classes: Option<Vec<ChaosClass>>,
     shrink: bool,
     replay: Option<String>,
     reps: Option<usize>,
@@ -232,6 +248,25 @@ fn parse_cli(args: &[String]) -> Cli {
                 }
             }
             "--inject-late" => cli.inject_late = true,
+            "--chaos" => cli.chaos = true,
+            "--chaos-seed" => {
+                let v = value(&mut it, "--chaos-seed", inline);
+                match v.parse::<u64>() {
+                    Ok(n) => cli.chaos_seed = Some(n),
+                    _ => die(&format!("invalid --chaos-seed value: {v}")),
+                }
+            }
+            "--chaos-classes" => {
+                let v = value(&mut it, "--chaos-classes", inline);
+                let classes: Vec<ChaosClass> = v
+                    .split(',')
+                    .map(|c| {
+                        ChaosClass::parse(c.trim())
+                            .unwrap_or_else(|| die(&format!("unknown chaos class: {c}")))
+                    })
+                    .collect();
+                cli.chaos_classes = Some(classes);
+            }
             "--shrink" => cli.shrink = true,
             "--replay" => {
                 let v = value(&mut it, "--replay", inline);
@@ -398,12 +433,27 @@ fn sweep_main(cli: &Cli) {
     write_result("results/sweeps", "sweep.json", &report.to_json());
 }
 
+/// The chaos configuration the CLI flags describe, `None` without
+/// `--chaos`.
+fn chaos_config(cli: &Cli) -> Option<ChaosConfig> {
+    if !cli.chaos {
+        return None;
+    }
+    let seed = cli.chaos_seed.unwrap_or(0);
+    Some(match &cli.chaos_classes {
+        Some(classes) => ChaosConfig::only(seed, classes),
+        None => ChaosConfig::with_seed(seed),
+    })
+}
+
 fn check_main(cli: &Cli) {
+    let chaos = chaos_config(cli);
     let report = match &cli.replay {
         Some(path) => {
             let text = std::fs::read_to_string(path)
                 .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
-            run_replay(&text, cli.shrink).unwrap_or_else(|e| die(&format!("bad replay spec: {e}")))
+            run_replay(&text, cli.shrink, chaos)
+                .unwrap_or_else(|e| die(&format!("bad replay spec: {e}")))
         }
         None => {
             let cfg = CheckConfig {
@@ -413,13 +463,21 @@ fn check_main(cli: &Cli) {
                 shrink: cli.shrink,
                 queue_depth: cli.queue_depth,
                 inject_late: cli.inject_late,
+                chaos,
             };
             let plane = match cfg.queue_depth {
                 Some(d) => format!("queued device, depth {d}"),
                 None => "serial device".to_string(),
             };
+            let shaken = match &cfg.chaos {
+                Some(c) => {
+                    let names: Vec<&str> = c.classes().iter().map(|cl| cl.name()).collect();
+                    format!(", chaos seed {} [{}]", c.seed, names.join(","))
+                }
+                None => String::new(),
+            };
             eprintln!(
-                "check: {} program(s) on {} job(s), root seed {}, {plane}",
+                "check: {} program(s) on {} job(s), root seed {}, {plane}{shaken}",
                 cfg.programs, cfg.jobs, cfg.root_seed
             );
             run_check(&cfg)
@@ -642,6 +700,14 @@ fn profile_main(cli: &Cli) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = parse_cli(&args);
+
+    let check_mode = cli.targets.iter().any(|t| t == "check");
+    if !check_mode && (cli.chaos || cli.chaos_seed.is_some() || cli.chaos_classes.is_some()) {
+        die("--chaos/--chaos-seed/--chaos-classes only apply to the check target");
+    }
+    if !cli.chaos && (cli.chaos_seed.is_some() || cli.chaos_classes.is_some()) {
+        die("--chaos-seed/--chaos-classes require --chaos");
+    }
 
     let bench_mode = cli.targets.iter().any(|t| t == "bench");
     if !bench_mode

@@ -19,8 +19,11 @@
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-use sim_check::{generate, shrink, AuditPlane, FileRef, GenConfig, OpSpec, ProgramSpec, Sabotaged};
-use sim_core::{FileId, IoErrorKind, SimDuration, SimRng};
+use sim_check::{
+    generate, shrink, AuditPlane, FileRef, GenConfig, OpSpec, ProgramSpec, Sabotaged,
+    TimingSabotaged,
+};
+use sim_core::{ChaosConfig, FileId, IoErrorKind, SimDuration, SimRng};
 use sim_experiments::setup::{kernel_config, DeviceChoice, SchedChoice, Setup};
 use sim_fault::DeviceFaultPlane;
 use sim_kernel::{Outcome, ProcAction, ProcessLogic, World};
@@ -187,6 +190,26 @@ impl ProcessLogic for Replayer {
 /// that has not quiesced after this much simulated time is itself a bug.
 const QUIESCE_CAP_SECS: u64 = 600;
 
+/// Everything [`run_inner`] can turn on besides the scheduler/device
+/// pair. Each public `run_one_*` wrapper sets one knob.
+#[derive(Default)]
+struct RunOpts {
+    /// Wrap the scheduler with the cause-corrupting shim after this many
+    /// block adds (mutation testing of the audit plane).
+    sabotage: Option<u64>,
+    /// Wrap the scheduler with the timing-dependent corruption shim at
+    /// this dwell threshold (mutation testing of the chaos plane).
+    timing_sabotage: Option<SimDuration>,
+    /// Install a device fault plan.
+    faults: Option<DeviceFaultPlane>,
+    /// Queued-device plane at this hardware queue depth.
+    queue_depth: Option<u32>,
+    /// Plant one deliberately-late event after the drain.
+    inject_late: bool,
+    /// Install the chaos plane.
+    chaos: Option<ChaosConfig>,
+}
+
 /// Replay `spec` under one scheduler/device pair with auditors installed.
 /// `sabotage` wraps the scheduler with the cause-corrupting shim after
 /// that many block adds (mutation testing).
@@ -196,7 +219,15 @@ pub fn run_one(
     device: DeviceChoice,
     sabotage: Option<u64>,
 ) -> RunOutcome {
-    run_inner(spec, sched, device, sabotage, None, None, false)
+    run_inner(
+        spec,
+        sched,
+        device,
+        RunOpts {
+            sabotage,
+            ..Default::default()
+        },
+    )
 }
 
 /// [`run_one`] on the queued-device plane at hardware queue depth
@@ -209,7 +240,15 @@ pub fn run_one_queued(
     device: DeviceChoice,
     depth: u32,
 ) -> RunOutcome {
-    run_inner(spec, sched, device, None, None, Some(depth), false)
+    run_inner(
+        spec,
+        sched,
+        device,
+        RunOpts {
+            queue_depth: Some(depth),
+            ..Default::default()
+        },
+    )
 }
 
 /// [`run_one`] with a device fault plan installed — composes the fuzzer
@@ -221,33 +260,87 @@ pub fn run_one_faulted(
     device: DeviceChoice,
     faults: DeviceFaultPlane,
 ) -> RunOutcome {
-    run_inner(spec, sched, device, None, Some(faults), None, false)
+    run_inner(
+        spec,
+        sched,
+        device,
+        RunOpts {
+            faults: Some(faults),
+            ..Default::default()
+        },
+    )
 }
 
-/// `inject_late` plants one deliberately-late event after the drain (the
-/// `runner check --inject-late` probe): the run must then fail through
-/// both the event-queue auditor and the drain gate.
+/// [`run_one`] under the chaos plane, optionally on the queued-device
+/// plane — the chaos test batteries' entry point.
+pub fn run_one_chaos(
+    spec: &ProgramSpec,
+    sched: SchedChoice,
+    device: DeviceChoice,
+    queue_depth: Option<u32>,
+    chaos: ChaosConfig,
+) -> RunOutcome {
+    run_inner(
+        spec,
+        sched,
+        device,
+        RunOpts {
+            queue_depth,
+            chaos: Some(chaos),
+            ..Default::default()
+        },
+    )
+}
+
+/// [`run_one`] with the timing-dependent sabotage shim armed at `dwell`,
+/// optionally under chaos and/or the queued plane. The chaos mutation
+/// test uses this for both arms: the plain arm must stay clean (the
+/// planted race is unreachable without adversarial timing) and the chaos
+/// arm must trip the cause-tag auditor.
+pub fn run_one_timing_sabotaged(
+    spec: &ProgramSpec,
+    sched: SchedChoice,
+    device: DeviceChoice,
+    queue_depth: Option<u32>,
+    chaos: Option<ChaosConfig>,
+    dwell: SimDuration,
+) -> RunOutcome {
+    run_inner(
+        spec,
+        sched,
+        device,
+        RunOpts {
+            timing_sabotage: Some(dwell),
+            queue_depth,
+            chaos,
+            ..Default::default()
+        },
+    )
+}
+
+/// `opts.inject_late` plants one deliberately-late event after the drain
+/// (the `runner check --inject-late` probe): the run must then fail
+/// through both the event-queue auditor and the drain gate.
 fn run_inner(
     spec: &ProgramSpec,
     sched: SchedChoice,
     device: DeviceChoice,
-    sabotage: Option<u64>,
-    faults: Option<DeviceFaultPlane>,
-    queue_depth: Option<u32>,
-    inject_late: bool,
+    opts: RunOpts,
 ) -> RunOutcome {
     let mut setup = Setup::new(sched);
     setup.device = device;
-    setup.queue_depth = queue_depth;
+    setup.queue_depth = opts.queue_depth;
+    setup.chaos = opts.chaos;
     let mut cfg = kernel_config(setup);
     cfg.audit = Some(AuditPlane::standard());
-    let sched_box: Box<dyn IoSched> = match sabotage {
-        Some(after) => Box::new(Sabotaged::new(sched.build(), after)),
-        None => sched.build(),
+    let sched_box: Box<dyn IoSched> = match (opts.sabotage, opts.timing_sabotage) {
+        (Some(after), _) => Box::new(Sabotaged::new(sched.build(), after)),
+        (None, Some(dwell)) => Box::new(TimingSabotaged::new(sched.build(), dwell)),
+        (None, None) => sched.build(),
     };
     let mut w = World::new();
     let k = w.add_kernel(cfg, device.build(), sched_box);
-    if let Some(plane) = faults {
+    if let Some(plane) = opts.faults {
         w.kernel_mut(k).install_fault_plane(plane);
     }
 
@@ -295,7 +388,7 @@ fn run_inner(
             }
         }
     }
-    if inject_late {
+    if opts.inject_late {
         w.inject_late_schedule();
     }
     if quiesced {
@@ -356,7 +449,20 @@ pub fn check_program(spec: &ProgramSpec) -> Vec<String> {
 /// oracle is unchanged — schedulers may exploit a deep queue but must
 /// never change syscall results.
 pub fn check_program_qd(spec: &ProgramSpec, queue_depth: Option<u32>) -> Vec<String> {
-    check_program_opts(spec, queue_depth, false)
+    check_program_opts(spec, queue_depth, false, None)
+}
+
+/// [`check_program_qd`] under the chaos plane (`runner check --chaos`).
+/// The differential oracle survives chaos unchanged: the noop reference
+/// replays under the *same* chaos config, and syscall outcomes are
+/// timing-invariant, so schedulers must still agree with the reference
+/// while the auditors watch every perturbed interleaving.
+pub fn check_program_chaos(
+    spec: &ProgramSpec,
+    queue_depth: Option<u32>,
+    chaos: ChaosConfig,
+) -> Vec<String> {
+    check_program_opts(spec, queue_depth, false, Some(chaos))
 }
 
 /// [`check_program_qd`] with the late-schedule probe: `inject_late`
@@ -366,8 +472,21 @@ fn check_program_opts(
     spec: &ProgramSpec,
     queue_depth: Option<u32>,
     inject_late: bool,
+    chaos: Option<ChaosConfig>,
 ) -> Vec<String> {
-    let run = |sched, device| run_inner(spec, sched, device, None, None, queue_depth, inject_late);
+    let run = |sched, device| {
+        run_inner(
+            spec,
+            sched,
+            device,
+            RunOpts {
+                queue_depth,
+                inject_late,
+                chaos,
+                ..Default::default()
+            },
+        )
+    };
     let mut problems = Vec::new();
     for &device in &ALL_DEVICES {
         let reference = run(ALL_SCHEDS[0], device);
@@ -416,7 +535,7 @@ pub fn bench_batch(programs: usize, root_seed: u64) -> BenchBatch {
         let spec = generate(&mut SimRng::stream(root_seed, idx), &GenConfig::default());
         for &device in &ALL_DEVICES {
             for &sched in &ALL_SCHEDS {
-                let r = run_inner(&spec, sched, device, None, None, None, false);
+                let r = run_inner(&spec, sched, device, RunOpts::default());
                 events += r.events;
                 fsync_ms.extend(r.fsync_ms);
             }
@@ -442,6 +561,8 @@ pub struct CheckConfig {
     /// Plant one deliberately-late event per run so the late-schedule
     /// gate can be demonstrated to fail (`runner check --inject-late`).
     pub inject_late: bool,
+    /// Chaos plane for every run in the batch (`runner check --chaos`).
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for CheckConfig {
@@ -453,6 +574,7 @@ impl Default for CheckConfig {
             shrink: false,
             queue_depth: None,
             inject_late: false,
+            chaos: None,
         }
     }
 }
@@ -520,9 +642,15 @@ fn fail_from(
     problems: Vec<String>,
     minimize: bool,
     queue_depth: Option<u32>,
+    chaos: Option<ChaosConfig>,
 ) -> CheckFailure {
     let shrunk = if minimize {
-        let small = shrink(spec, |p| !check_program_qd(p, queue_depth).is_empty());
+        // The shrinker replays candidates under the same planes that
+        // caught the failure — a chaos-only bug must stay reproducible
+        // at every shrink step.
+        let small = shrink(spec, |p| {
+            !check_program_opts(p, queue_depth, false, chaos).is_empty()
+        });
         (small.syscall_count() < spec.syscall_count()).then(|| small.to_string())
     } else {
         None
@@ -543,7 +671,7 @@ pub fn run_check(cfg: &CheckConfig) -> CheckReport {
             &mut SimRng::stream(cfg.root_seed, idx),
             &GenConfig::default(),
         );
-        let problems = check_program_opts(&spec, cfg.queue_depth, cfg.inject_late);
+        let problems = check_program_opts(&spec, cfg.queue_depth, cfg.inject_late, cfg.chaos);
         (idx, spec, problems)
     });
     // Shrinking replays the whole matrix per candidate, so it stays on
@@ -554,7 +682,9 @@ pub fn run_check(cfg: &CheckConfig) -> CheckReport {
     let failures = results
         .into_iter()
         .filter(|(_, _, problems)| !problems.is_empty())
-        .map(|(idx, spec, problems)| fail_from(&spec, idx, problems, minimize, cfg.queue_depth))
+        .map(|(idx, spec, problems)| {
+            fail_from(&spec, idx, problems, minimize, cfg.queue_depth, cfg.chaos)
+        })
         .collect();
     CheckReport {
         programs: cfg.programs,
@@ -563,13 +693,19 @@ pub fn run_check(cfg: &CheckConfig) -> CheckReport {
 }
 
 /// Check one program parsed from a replay file (see [`ProgramSpec::parse`]).
-pub fn run_replay(text: &str, shrink_it: bool) -> Result<CheckReport, String> {
+/// `chaos` replays it under the chaos plane — a reproducer minted by
+/// `check --chaos` needs the same timing to reproduce.
+pub fn run_replay(
+    text: &str,
+    shrink_it: bool,
+    chaos: Option<ChaosConfig>,
+) -> Result<CheckReport, String> {
     let spec = ProgramSpec::parse(text)?;
-    let problems = check_program(&spec);
+    let problems = check_program_opts(&spec, None, false, chaos);
     let failures = if problems.is_empty() {
         Vec::new()
     } else {
-        vec![fail_from(&spec, u64::MAX, problems, shrink_it, None)]
+        vec![fail_from(&spec, u64::MAX, problems, shrink_it, None, chaos)]
     };
     Ok(CheckReport {
         programs: 1,
@@ -615,10 +751,10 @@ mod tests {
             &spec,
             SchedChoice::Noop,
             DeviceChoice::Ssd,
-            None,
-            None,
-            None,
-            true,
+            RunOpts {
+                inject_late: true,
+                ..Default::default()
+            },
         );
         // Both the event-queue auditor and the harness's drain gate
         // must flag the planted late event.

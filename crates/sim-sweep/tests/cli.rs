@@ -225,6 +225,62 @@ fn cluster_flag_validation_exits_2() {
 }
 
 #[test]
+fn chaos_flag_validation_exits_2() {
+    for args in [
+        // chaos flags are check-only
+        &["fig01", "--chaos"][..],
+        &["bench", "--chaos"][..],
+        &["sweep", "--chaos-seed", "1"][..],
+        &["cluster", "--chaos-classes", "wb"][..],
+        // the sub-flags require --chaos itself
+        &["check", "--chaos-seed", "1"][..],
+        &["check", "--chaos-classes", "wb"][..],
+        // bad values
+        &["check", "--chaos", "--chaos-seed", "many"][..],
+        &["check", "--chaos", "--chaos-classes", "wb,flux"][..],
+        &["check", "--chaos", "--chaos-classes", ""][..],
+        &["check", "--chaos", "--chaos-seed"][..],
+    ] {
+        let out = runner().args(args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "args: {args:?}");
+    }
+    let out = runner()
+        .args(["check", "--chaos", "--chaos-classes", "wb,flux"])
+        .output()
+        .unwrap();
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown chaos class: flux"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn check_under_chaos_runs_clean_and_reports_the_seed() {
+    let out = runner()
+        .args([
+            "check",
+            "--programs",
+            "2",
+            "--chaos",
+            "--chaos-seed",
+            "9",
+            "--chaos-classes",
+            "wb,complete",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("chaos seed 9 [wb,complete]"), "{stderr}");
+}
+
+#[test]
 fn cluster_runs_and_is_byte_identical_across_jobs() {
     let common = [
         "cluster",
