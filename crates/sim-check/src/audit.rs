@@ -194,6 +194,13 @@ impl AuditPlane {
         ])
     }
 
+    /// Install one more auditor on top of the current set — how the
+    /// check harness adds scheduler-specific batteries (e.g. the
+    /// [`crate::LayerAuditor`]) to [`AuditPlane::standard`].
+    pub fn push(&mut self, auditor: Box<dyn Auditor>) {
+        self.auditors.push(auditor);
+    }
+
     /// Feed one transition to every auditor.
     pub fn observe(&mut self, now: SimTime, ev: &AuditEvent<'_>) {
         let mut scratch = std::mem::take(&mut self.scratch);

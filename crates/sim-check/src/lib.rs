@@ -17,6 +17,7 @@
 pub mod audit;
 pub mod auditors;
 pub mod gen;
+pub mod layer_audit;
 pub mod program;
 pub mod sabotage;
 pub mod shrink;
@@ -24,6 +25,7 @@ pub mod timing;
 
 pub use audit::{AuditCheckpoint, AuditEvent, AuditPlane, Auditor, Violation};
 pub use gen::{generate, GenConfig};
+pub use layer_audit::LayerAuditor;
 pub use program::{FileRef, OpSpec, ProcSpec, ProgramSpec};
 pub use sabotage::Sabotaged;
 pub use shrink::shrink;

@@ -11,9 +11,9 @@
 use sim_block::IoPrio;
 use sim_core::{SimDuration, SimTime};
 use sim_workloads::{BurstWriter, SeqReader};
-use split_core::SchedAttr;
+use split_core::{IoSched, SchedAttr};
 
-use crate::setup::{build_world, SchedChoice, Setup};
+use crate::setup::{build_world_with, SchedChoice, Setup};
 use crate::table::{f1, Table};
 use crate::{GB, KB, MB};
 
@@ -100,11 +100,25 @@ pub fn build_burst_world(
     sched: SchedChoice,
     queue_depth: Option<u32>,
 ) -> (sim_kernel::World, sim_core::KernelId, sim_core::Pid) {
-    let mut setup = Setup::new(sched).seed(cfg.seed);
+    build_burst_world_with(cfg, sched, sched.build(), queue_depth)
+}
+
+/// [`build_burst_world`] with an explicit scheduler instance. `base`
+/// still drives the kernel flags (pdflush, read gating) and B's
+/// containment attribute, while `instance` is what actually installs —
+/// the bench harness passes CFQ wrapped in a single catch-all layer
+/// here to price the layer plane's indirection against the flat run.
+pub fn build_burst_world_with(
+    cfg: &Config,
+    base: SchedChoice,
+    instance: Box<dyn IoSched>,
+    queue_depth: Option<u32>,
+) -> (sim_kernel::World, sim_core::KernelId, sim_core::Pid) {
+    let mut setup = Setup::new(base).seed(cfg.seed);
     if let Some(d) = queue_depth {
         setup = setup.queue_depth(d);
     }
-    let (mut w, k) = build_world(setup);
+    let (mut w, k) = build_world_with(setup, instance);
     let a_file = w.prealloc_file(k, cfg.a_file, true);
     let b_file = w.prealloc_file(k, cfg.b_file, true);
     let a = w.spawn(k, Box::new(SeqReader::new(a_file, cfg.a_file, MB)));
@@ -120,7 +134,7 @@ pub fn build_burst_world(
             cfg.seed ^ 0xb0b,
         )),
     );
-    match sched {
+    match base {
         SchedChoice::Cfq => w.set_ioprio(k, b, IoPrio::idle()),
         SchedChoice::SplitToken => w.configure(k, b, SchedAttr::TokenRate(MB)),
         _ => {}

@@ -1,0 +1,457 @@
+//! fig_layers — hierarchical multi-tenant layer plane.
+//!
+//! Three tenants share one device: a latency tenant (small appends +
+//! fsync, a database log), a noisy neighbor (an analytics scan issuing
+//! a firehose of random reads), and a capped batch tenant (sequential
+//! bulk writes). Under the layer tree the latency
+//! tenant rides a latency-priority layer over the deadline elevator,
+//! the batch tenant a bandwidth-capped layer over CFQ, and the noise
+//! lands in the default share layer over Split-Token; cause-tag latency
+//! inheritance routes shared journal commits the latency tenant waits
+//! on ahead of the noise. The claim: the layer plane holds the latency
+//! tenant's fsync p99 near its solo baseline *and* pins the batch
+//! tenant under its cap (verified by the [`LayerAuditor`]'s envelope),
+//! while a flat scheduler given the same three tenants violates at
+//! least one of those bounds.
+//!
+//! Each run covers the serial plane and a queued (NCQ depth 8) plane on
+//! the configured device; the registry's device axis supplies hdd/ssd.
+
+use sim_check::{AuditPlane, LayerAuditor};
+use sim_core::{stats::Percentiles, SimDuration};
+use sim_workloads::{FsyncAppender, RandReader, SeqWriter};
+use split_layered::{parse_layers, LayerSpec, LayeredConfig};
+
+use crate::setup::{
+    build_layered, build_world, build_world_with, DeviceChoice, SchedChoice, Setup,
+};
+use crate::table::{f1, ms, Table};
+use crate::{GB, KB, MB};
+
+/// Configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Simulated time per arm.
+    pub duration: SimDuration,
+    /// Batch tenant's bandwidth cap (bytes/second of admitted writes).
+    pub cap: u64,
+    /// Latency tenant's append size per fsync (a WAL group commit).
+    /// Large enough that the 1.5× solo SLO leaves headroom above a
+    /// single device service quantum — on a non-preemptible device any
+    /// scheduler eats up to one in-flight request of blocking.
+    pub lat_append: u64,
+    /// Batch tenant's write block size. Small blocks keep the ordered
+    /// entanglement residual (dirty batch data a shared commit must
+    /// flush) to a fraction of the SLO headroom.
+    pub batch_block: u64,
+    /// Noisy neighbor's request size (random reads).
+    pub noisy_req: u64,
+    /// Arbiter-wide dirty budget, split across layers by share. Keeps
+    /// the noisy layer's write-behind from saturating the shared dirty
+    /// pool (global threshold is ~102 MB at the default 512 MB / 0.20).
+    pub dirty_budget: u64,
+    /// Device plane.
+    pub device: DeviceChoice,
+    /// NCQ depth for the queued plane.
+    pub queue_depth: u32,
+    /// Experiment seed (0 = historical run).
+    pub seed: u64,
+}
+
+impl Config {
+    /// HDD run (quick).
+    pub fn quick_hdd() -> Self {
+        Config {
+            duration: SimDuration::from_secs(10),
+            cap: 4 * MB,
+            lat_append: 256 * KB,
+            batch_block: 64 * KB,
+            noisy_req: 64 * KB,
+            dirty_budget: 48 * MB,
+            device: DeviceChoice::Hdd,
+            queue_depth: 8,
+            seed: 0,
+        }
+    }
+
+    /// SSD run (quick).
+    pub fn quick_ssd() -> Self {
+        Config {
+            device: DeviceChoice::Ssd,
+            ..Self::quick_hdd()
+        }
+    }
+
+    /// Paper-scale HDD run.
+    pub fn paper_hdd() -> Self {
+        Config {
+            duration: SimDuration::from_secs(30),
+            ..Self::quick_hdd()
+        }
+    }
+}
+
+/// Spawn order is fixed (latency, noisy, capped), so the tree can bind
+/// tenants with explicit pid rules — which also keeps every rule
+/// pid-decidable, the precondition for the [`LayerAuditor`] replay.
+const LAT_PID: u32 = 10;
+const CAPPED_PID: u32 = 12;
+
+/// The three-tenant layer tree for one cap value.
+pub fn tenant_tree(cap: u64) -> Vec<LayerSpec> {
+    parse_layers(&format!(
+        "lat:pids={LAT_PID}:latency:block-deadline;\
+         batch:pids={CAPPED_PID}:cap={cap}:cfq;\
+         bulk:default:share:split-token"
+    ))
+    .expect("tenant tree parses")
+}
+
+/// One arm's measurements.
+#[derive(Debug, Clone)]
+pub struct TenantRun {
+    /// Arm label ("solo", "layered", "flat cfq").
+    pub label: &'static str,
+    /// Latency tenant's fsync p99 (ms), after a 1 s warm-up.
+    pub lat_p99_ms: f64,
+    /// Latency tenant's completed fsyncs.
+    pub lat_fsyncs: usize,
+    /// Batch tenant's admitted write throughput (MB/s); 0 when absent.
+    pub capped_mbps: f64,
+    /// Noisy neighbor's admitted write throughput (MB/s); 0 when absent.
+    pub noisy_mbps: f64,
+    /// Layer-auditor violations (layered arms only; flat has no plane).
+    pub audit_violations: usize,
+}
+
+/// One device plane (serial or queued) — all three arms plus the bounds.
+#[derive(Debug, Clone)]
+pub struct PlaneResult {
+    /// Plane label ("serial" or "qd=8").
+    pub plane: String,
+    /// Latency tenant alone under the layer tree (the SLO baseline).
+    pub solo: TenantRun,
+    /// All three tenants under the layer tree.
+    pub layered: TenantRun,
+    /// All three tenants under flat CFQ.
+    pub flat: TenantRun,
+}
+
+impl PlaneResult {
+    /// Bound 1: layered p99 within 1.5× the solo baseline.
+    pub fn latency_ok(&self) -> bool {
+        self.layered.lat_p99_ms <= 1.5 * self.solo.lat_p99_ms
+    }
+
+    /// Bound 2: batch tenant inside its cap (admitted throughput within
+    /// the bucket's rate + one-burst allowance) and the auditor's
+    /// envelope never tripped.
+    pub fn cap_ok(&self, cap_bound_mbps: f64) -> bool {
+        self.layered.capped_mbps <= cap_bound_mbps && self.layered.audit_violations == 0
+    }
+
+    /// Does the flat scheduler violate at least one bound?
+    pub fn flat_violates(&self, cap_bound_mbps: f64) -> bool {
+        self.flat.lat_p99_ms > 1.5 * self.solo.lat_p99_ms || self.flat.capped_mbps > cap_bound_mbps
+    }
+}
+
+/// Full figure result.
+#[derive(Debug, Clone)]
+pub struct FigResult {
+    /// Serial plane.
+    pub serial: PlaneResult,
+    /// Queued plane (NCQ depth `cfg.queue_depth`).
+    pub queued: PlaneResult,
+    /// Whether the tree's guarantees were feasible as requested.
+    pub solver_feasible: bool,
+    /// Solver adjustments applied (0 when feasible).
+    pub solver_adjustments: usize,
+    /// Config used.
+    pub cfg: Config,
+}
+
+impl FigResult {
+    /// The admitted-throughput bound implied by the cap: sustained rate
+    /// plus the bucket's one-second burst, amortized over the run, with
+    /// 5% measurement slack.
+    pub fn cap_bound_mbps(&self) -> f64 {
+        let rate = self.cfg.cap as f64 / MB as f64;
+        let dur = self.cfg.duration.as_secs_f64();
+        rate * (1.0 + 1.0 / dur) * 1.05
+    }
+}
+
+/// A built (not yet run) arm: the world plus the tenant pids the
+/// measurements key on.
+struct ArmWorld {
+    w: sim_kernel::World,
+    k: sim_core::KernelId,
+    lat: sim_core::Pid,
+    tenants: Option<(sim_core::Pid, sim_core::Pid)>,
+}
+
+fn build_arm(cfg: &Config, queued: bool, layered: bool, with_noise: bool) -> ArmWorld {
+    let sched = if layered {
+        SchedChoice::Layered
+    } else {
+        SchedChoice::Cfq
+    };
+    let mut setup = Setup {
+        device: cfg.device,
+        seed: cfg.seed,
+        ..Setup::new(sched)
+    };
+    if queued {
+        setup = setup.queue_depth(cfg.queue_depth);
+    }
+    let specs = tenant_tree(cfg.cap);
+    let lcfg = LayeredConfig {
+        dirty_budget: Some(cfg.dirty_budget),
+        eager_wb_bytes: Some(cfg.batch_block),
+        ..LayeredConfig::default()
+    };
+    let (mut w, k) = if layered {
+        let arbiter = build_layered(specs.clone(), lcfg).expect("tenant tree children resolve");
+        build_world_with(setup, Box::new(arbiter))
+    } else {
+        build_world(setup)
+    };
+    if layered {
+        w.kernel_mut(k)
+            .install_audit_plane(AuditPlane::new(vec![Box::new(LayerAuditor::new(specs))]));
+    }
+    let lat_file = w.prealloc_file(k, 256 * MB, true);
+    let lat = w.spawn(
+        k,
+        Box::new(FsyncAppender::new(
+            lat_file,
+            cfg.lat_append,
+            SimDuration::from_millis(20),
+        )),
+    );
+    assert_eq!(lat.0, LAT_PID, "spawn order fixes the latency tenant pid");
+    let tenants = with_noise.then(|| {
+        let noisy_file = w.prealloc_file(k, GB, true);
+        let capped_file = w.prealloc_file(k, GB, true);
+        let noisy = w.spawn(
+            k,
+            Box::new(RandReader::new(
+                noisy_file,
+                GB,
+                cfg.noisy_req,
+                cfg.seed ^ 0x0151,
+            )),
+        );
+        let capped = w.spawn(
+            k,
+            Box::new(SeqWriter::new(capped_file, GB, cfg.batch_block)),
+        );
+        assert_eq!(capped.0, CAPPED_PID, "spawn order fixes the batch pid");
+        (noisy, capped)
+    });
+    ArmWorld { w, k, lat, tenants }
+}
+
+fn run_arm(cfg: &Config, queued: bool, layered: bool, with_noise: bool) -> TenantRun {
+    let ArmWorld {
+        mut w,
+        k,
+        lat,
+        tenants,
+    } = build_arm(cfg, queued, layered, with_noise);
+    w.run_for(cfg.duration);
+    let stats = &w.kernel(k).stats;
+    let lat_ms: Vec<f64> = stats
+        .proc(lat)
+        .map(|s| {
+            s.fsyncs
+                .iter()
+                .filter(|(t, _)| t.as_secs_f64() > 1.0)
+                .map(|(_, d)| d.as_millis_f64())
+                .collect()
+        })
+        .unwrap_or_default();
+    let lat_fsyncs = lat_ms.len();
+    let (noisy_mbps, capped_mbps) = tenants
+        .map(|(noisy, capped)| {
+            (
+                stats.read_mbps(noisy, cfg.duration),
+                stats.write_mbps(capped, cfg.duration),
+            )
+        })
+        .unwrap_or((0.0, 0.0));
+    TenantRun {
+        label: match (layered, with_noise) {
+            (true, false) => "solo",
+            (true, true) => "layered",
+            (false, _) => "flat cfq",
+        },
+        lat_p99_ms: Percentiles::new(lat_ms).p99(),
+        lat_fsyncs,
+        capped_mbps,
+        noisy_mbps,
+        audit_violations: w
+            .kernel(k)
+            .audit_plane()
+            .map(|p| p.violations().len())
+            .unwrap_or(0),
+    }
+}
+
+fn run_plane(cfg: &Config, queued: bool) -> PlaneResult {
+    PlaneResult {
+        plane: if queued {
+            format!("qd={}", cfg.queue_depth)
+        } else {
+            "serial".to_string()
+        },
+        solo: run_arm(cfg, queued, true, false),
+        layered: run_arm(cfg, queued, true, true),
+        flat: run_arm(cfg, queued, false, true),
+    }
+}
+
+/// Run both planes on the configured device.
+pub fn run(cfg: &Config) -> FigResult {
+    let feas = build_layered(tenant_tree(cfg.cap), LayeredConfig::default())
+        .expect("tenant tree children resolve")
+        .feasibility()
+        .clone();
+    FigResult {
+        serial: run_plane(cfg, false),
+        queued: run_plane(cfg, true),
+        solver_feasible: feas.feasible(),
+        solver_adjustments: feas.adjustments.len(),
+        cfg: *cfg,
+    }
+}
+
+/// What one quick layered run (SSD, serial plane, all three tenants)
+/// hands the bench harness: total events plus the latency tenant's
+/// fsync latencies. Unlike the `fig01_layered` passthrough probe, this
+/// prices the full arbiter — classification, nested dispatch, cap
+/// charging, dirty budgets, boost windows — plus the layer auditor's
+/// replay, so the regression gate tracks the plane's hot path end to
+/// end.
+pub fn bench_run() -> crate::fig01_qd::BenchRun {
+    let cfg = Config::quick_ssd();
+    let ArmWorld { mut w, k, lat, .. } = build_arm(&cfg, false, true, true);
+    w.run_for(cfg.duration);
+    let fsync_ms = w
+        .kernel(k)
+        .stats
+        .proc(lat)
+        .map(|s| s.fsyncs.iter().map(|(_, d)| d.as_millis_f64()).collect())
+        .unwrap_or_default();
+    crate::fig01_qd::BenchRun {
+        events: w.events_processed(),
+        fsync_ms,
+    }
+}
+
+impl std::fmt::Display for FigResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "fig_layers — multi-tenant layer plane ({:?}, cap {} MB/s)",
+            self.cfg.device,
+            self.cfg.cap / MB
+        )?;
+        let bound = self.cap_bound_mbps();
+        for p in [&self.serial, &self.queued] {
+            let mut t = Table::new([
+                "arm",
+                "lat p99",
+                "fsyncs",
+                "capped MB/s",
+                "noisy MB/s",
+                "audit",
+            ]);
+            for a in [&p.solo, &p.layered, &p.flat] {
+                t.row([
+                    a.label.to_string(),
+                    ms(a.lat_p99_ms),
+                    a.lat_fsyncs.to_string(),
+                    f1(a.capped_mbps),
+                    f1(a.noisy_mbps),
+                    a.audit_violations.to_string(),
+                ]);
+            }
+            writeln!(f, "[{}]", p.plane)?;
+            writeln!(f, "{}", t.render())?;
+            writeln!(
+                f,
+                "latency SLO {} | cap {} | flat violates a bound: {}",
+                if p.latency_ok() { "held" } else { "BROKEN" },
+                if p.cap_ok(bound) { "held" } else { "BROKEN" },
+                if p.flat_violates(bound) { "yes" } else { "NO" },
+            )?;
+        }
+        write!(
+            f,
+            "solver: {} ({} adjustment(s))",
+            if self.solver_feasible {
+                "feasible as requested"
+            } else {
+                "repaired"
+            },
+            self.solver_adjustments
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_bounds(r: &FigResult) {
+        let bound = r.cap_bound_mbps();
+        for p in [&r.serial, &r.queued] {
+            let tag = format!("{:?}/{}", r.cfg.device, p.plane);
+            assert!(
+                p.solo.lat_fsyncs > 20 && p.layered.lat_fsyncs > 20,
+                "{tag}: latency tenant barely ran: solo {} layered {}",
+                p.solo.lat_fsyncs,
+                p.layered.lat_fsyncs
+            );
+            assert!(
+                p.latency_ok(),
+                "{tag}: layered p99 {} vs solo {} breaks the 1.5x SLO",
+                p.layered.lat_p99_ms,
+                p.solo.lat_p99_ms
+            );
+            assert!(
+                p.cap_ok(bound),
+                "{tag}: batch tenant {} MB/s vs bound {} ({} auditor violations)",
+                p.layered.capped_mbps,
+                bound,
+                p.layered.audit_violations
+            );
+            assert!(
+                p.flat_violates(bound),
+                "{tag}: flat cfq held every bound (p99 {} vs solo {}, capped {} vs {})",
+                p.flat.lat_p99_ms,
+                p.solo.lat_p99_ms,
+                p.flat.capped_mbps,
+                bound
+            );
+        }
+    }
+
+    #[test]
+    fn layer_plane_holds_bounds_on_ssd() {
+        let r = run(&Config::quick_ssd());
+        // The 4 MB/s cap is far below the batch layer's weighted
+        // entitlement: the solver must clip it and say so.
+        assert!(!r.solver_feasible, "expected a DominantCapped repair");
+        assert!(r.solver_adjustments >= 1);
+        assert_bounds(&r);
+    }
+
+    #[test]
+    fn layer_plane_holds_bounds_on_hdd() {
+        let r = run(&Config::quick_hdd());
+        assert_bounds(&r);
+    }
+}

@@ -29,11 +29,15 @@ pub mod fig19_postgres;
 pub mod fig20_qemu;
 pub mod fig21_hdfs;
 pub mod fig_cluster;
+pub mod fig_layers;
 pub mod registry;
 pub mod setup;
 pub mod table;
 
-pub use setup::{build_world, kernel_config, DeviceChoice, SchedChoice, Setup};
+pub use setup::{
+    build_layered, build_world, build_world_with, default_layer_tree, kernel_config,
+    resolve_layer_child, DeviceChoice, SchedChoice, Setup,
+};
 
 /// Re-exported units for experiment configs.
 pub const KB: u64 = 1024;

@@ -59,11 +59,13 @@ pub enum FigureId {
     Fig21,
     /// Cluster figure — fleet-wide SLOs under a flash crowd.
     FigCluster,
+    /// Layer-plane figure — multi-tenant SLOs under the layer tree.
+    FigLayers,
 }
 
 impl FigureId {
     /// All targets in the order `runner all` prints them.
-    pub const ALL: [FigureId; 21] = [
+    pub const ALL: [FigureId; 22] = [
         FigureId::Fig01,
         FigureId::Fig01Qd,
         FigureId::Fig03,
@@ -85,6 +87,7 @@ impl FigureId {
         FigureId::Breakdown,
         FigureId::Fig21,
         FigureId::FigCluster,
+        FigureId::FigLayers,
     ];
 
     /// CLI name (`fig01`, `ablations`, ...).
@@ -111,6 +114,7 @@ impl FigureId {
             FigureId::Breakdown => "breakdown",
             FigureId::Fig21 => "fig21",
             FigureId::FigCluster => "fig_cluster",
+            FigureId::FigLayers => "fig_layers",
         }
     }
 
@@ -128,7 +132,10 @@ impl FigureId {
     /// Whether the sweep's device axis applies (figures that carry a
     /// `DeviceChoice` in their config).
     pub fn supports_device_axis(self) -> bool {
-        matches!(self, FigureId::Fig12 | FigureId::Breakdown)
+        matches!(
+            self,
+            FigureId::Fig12 | FigureId::Breakdown | FigureId::FigLayers
+        )
     }
 }
 
@@ -691,6 +698,39 @@ pub fn run_cell(req: &CellRequest) -> CellOutput {
                     ));
                 }
                 metrics.push(m(format!("{sys}_put_p99_blowup"), run.put_p99_blowup()));
+            }
+            CellOutput {
+                summary: format!("{r}\n\n"),
+                metrics,
+                artifacts: Vec::new(),
+            }
+        }
+        FigureId::FigLayers => {
+            let mut cfg = match (req.device, req.profile) {
+                (Some(DeviceChoice::Ssd), _) => crate::fig_layers::Config::quick_ssd(),
+                (_, Profile::Quick) => crate::fig_layers::Config::quick_hdd(),
+                (_, Profile::Paper) => crate::fig_layers::Config::paper_hdd(),
+            };
+            cfg.seed = req.seed;
+            let r = crate::fig_layers::run(&cfg);
+            let mut metrics = vec![
+                m("cap_bound_mbps", r.cap_bound_mbps()),
+                m("solver_adjustments", r.solver_adjustments as f64),
+            ];
+            for p in [&r.serial, &r.queued] {
+                let plane = p.plane.replace('=', "");
+                metrics.push(m(format!("{plane}_solo_p99_ms"), p.solo.lat_p99_ms));
+                metrics.push(m(format!("{plane}_layered_p99_ms"), p.layered.lat_p99_ms));
+                metrics.push(m(format!("{plane}_flat_p99_ms"), p.flat.lat_p99_ms));
+                metrics.push(m(
+                    format!("{plane}_layered_capped_mbps"),
+                    p.layered.capped_mbps,
+                ));
+                metrics.push(m(format!("{plane}_flat_capped_mbps"), p.flat.capped_mbps));
+                metrics.push(m(
+                    format!("{plane}_audit_violations"),
+                    p.layered.audit_violations as f64,
+                ));
             }
             CellOutput {
                 summary: format!("{r}\n\n"),

@@ -8,6 +8,7 @@ use sim_device::{HddModel, SsdModel};
 pub use sim_kernel::FsChoice;
 use sim_kernel::{DeviceKind, KernelConfig, QueuePlane, World};
 use split_core::{BlockOnly, IoSched};
+use split_layered::{LayerSpec, Layered, LayeredConfig, SpecError};
 use split_schedulers::{Afq, ScsToken, SplitDeadline, SplitNoop, SplitToken};
 
 /// Which scheduler to install.
@@ -33,6 +34,11 @@ pub enum SchedChoice {
     SplitToken,
     /// All split hooks wired, no policy (Fig 9 overhead probe).
     SplitNoop,
+    /// The hierarchical layer plane over its default 3-layer tree
+    /// (latency / capped / rest, partitioned by pid mod 3). Custom
+    /// trees are built with [`build_layered`] and installed via
+    /// [`build_world_with`].
+    Layered,
 }
 
 impl SchedChoice {
@@ -56,6 +62,10 @@ impl SchedChoice {
             SchedChoice::SplitPdflush => Box::new(SplitDeadline::pdflush_variant()),
             SchedChoice::SplitToken => Box::new(SplitToken::new()),
             SchedChoice::SplitNoop => Box::new(SplitNoop::new()),
+            SchedChoice::Layered => Box::new(
+                build_layered(default_layer_tree(), LayeredConfig::default())
+                    .expect("default layer tree is valid"),
+            ),
         }
     }
 
@@ -81,8 +91,47 @@ impl SchedChoice {
             SchedChoice::SplitPdflush => "split-pdflush",
             SchedChoice::SplitToken => "split-token",
             SchedChoice::SplitNoop => "split-noop",
+            SchedChoice::Layered => "layered",
         }
     }
+}
+
+/// Resolve a child-scheduler name for a layer. Every flat scheduler is
+/// eligible; "layered" itself is rejected (one level of nesting — the
+/// tree composes flat children).
+pub fn resolve_layer_child(name: &str) -> Option<Box<dyn IoSched>> {
+    let choice = match name {
+        "noop" => SchedChoice::Noop,
+        "cfq" => SchedChoice::Cfq,
+        "block-deadline" => SchedChoice::BlockDeadline,
+        "scs-token" => SchedChoice::ScsToken,
+        "afq" => SchedChoice::Afq,
+        "split-deadline" => SchedChoice::SplitDeadline,
+        "split-pdflush" => SchedChoice::SplitPdflush,
+        "split-token" => SchedChoice::SplitToken,
+        "split-noop" => SchedChoice::SplitNoop,
+        _ => return None,
+    };
+    Some(choice.build())
+}
+
+/// Build a layer tree with children resolved from the flat scheduler
+/// registry. Unknown child names (including "layered") are rejected.
+pub fn build_layered(specs: Vec<LayerSpec>, cfg: LayeredConfig) -> Result<Layered, SpecError> {
+    Layered::build(specs, cfg, &mut |name| resolve_layer_child(name))
+}
+
+/// The default 3-layer tree `SchedChoice::Layered` installs: a latency
+/// layer over the deadline elevator, a bandwidth-capped layer over CFQ,
+/// and a double-weight default layer over Split-Token, partitioned by
+/// pid mod 3 so the fuzz matrix exercises every layer deterministically.
+pub fn default_layer_tree() -> Vec<LayerSpec> {
+    split_layered::parse_layers(
+        "lat:pidmod=3,1:latency:block-deadline;\
+         cap:pidmod=3,2:cap=8388608:cfq;\
+         rest:default:share+weight=2:split-token",
+    )
+    .expect("default tree parses")
 }
 
 /// Which device model to attach.
@@ -222,12 +271,16 @@ pub fn kernel_config(setup: Setup) -> KernelConfig {
 
 /// Build a world with a single kernel per the setup.
 pub fn build_world(setup: Setup) -> (World, KernelId) {
+    build_world_with(setup, setup.sched.build())
+}
+
+/// Build a world per the setup but install an explicit scheduler
+/// instance — custom layer trees, single-layer wrappers, shims. The
+/// kernel flags (pdflush, read gating) still follow `setup.sched`, so a
+/// wrapper around scheduler S runs under exactly S's kernel config.
+pub fn build_world_with(setup: Setup, sched: Box<dyn IoSched>) -> (World, KernelId) {
     let mut w = World::new();
-    let k = w.add_kernel(
-        kernel_config(setup),
-        setup.device.build(),
-        setup.sched.build(),
-    );
+    let k = w.add_kernel(kernel_config(setup), setup.device.build(), sched);
     (w, k)
 }
 

@@ -7,7 +7,7 @@
 //!              [--sched NAME]... [--device NAME]... [--paper]
 //! runner check [--programs N] [--jobs N] [--root-seed N] [--shrink]
 //!              [--queue-depth N] [--chaos] [--chaos-seed N]
-//!              [--chaos-classes LIST] [--replay FILE]
+//!              [--chaos-classes LIST] [--layers SPEC] [--replay FILE]
 //! runner cluster [--kernels N] [--jobs N] [--arrival NAME] [--rate R]
 //!                [--duration SECS] [--seed N] [--sched NAME] [--csv]
 //! ```
@@ -50,7 +50,12 @@
 //! config, and shrinking replays candidates under it too.
 //! `--inject-late` plants one deliberately-late event per run, proving
 //! the event-queue late-schedule gate fails the run (the exit code must
-//! be 1 with it, 0 without). Exit code 1 on any violation.
+//! be 1 with it, 0 without). `--layers SPEC` replaces the layered arm's
+//! default 3-layer tree with a custom one (grammar:
+//! `NAME:RULE:POLICY:CHILD` joined by `;`, see `split-layered`);
+//! malformed specs — unknown policy, zero cap, duplicate layer name,
+//! unknown child scheduler — are a usage error (exit code 2).
+//! Exit code 1 on any violation.
 //!
 //! `profile FIGURE` runs one figure with the DES self-profiler on,
 //! prints the per-phase wall-clock table, and writes
@@ -99,7 +104,8 @@ usage: runner [--paper] [--csv] [--trace] [--faults] [--jobs N] [TARGET...]
                     [--sched NAME]... [--device NAME]... [--paper]
        runner check [--programs N] [--jobs N] [--root-seed N] [--shrink]
                     [--queue-depth N] [--chaos] [--chaos-seed N]
-                    [--chaos-classes LIST] [--inject-late] [--replay FILE]
+                    [--chaos-classes LIST] [--inject-late] [--layers SPEC]
+                    [--replay FILE]
        runner profile FIGURE [--paper]
        runner bench [--reps N] [--check-programs N] [--root-seed N]
                     [--out DIR] [--baseline FILE]
@@ -107,10 +113,10 @@ usage: runner [--paper] [--csv] [--trace] [--faults] [--jobs N] [TARGET...]
                       [--duration SECS] [--seed N] [--sched NAME] [--csv]
 
 targets: fig01 fig03 fig05 fig06 fig09 fig10 fig11 fig12 fig13 fig14
-         fig15 fig16 fig17 fig18 fig19 fig20 fig21 fig_cluster ablations
-         breakdown faults all sweep check profile bench cluster
+         fig15 fig16 fig17 fig18 fig19 fig20 fig21 fig_cluster fig_layers
+         ablations breakdown faults all sweep check profile bench cluster
 scheds:  noop cfq block-deadline scs-token afq split-deadline
-         split-pdflush split-token split-noop
+         split-pdflush split-token split-noop layered
 devices: hdd ssd
 arrivals: poisson diurnal flash
 chaos classes: wb cpu journal complete";
@@ -143,8 +149,26 @@ fn parse_sched(name: &str) -> Option<SchedChoice> {
         "split-pdflush" => SchedChoice::SplitPdflush,
         "split-token" => SchedChoice::SplitToken,
         "split-noop" => SchedChoice::SplitNoop,
+        "layered" => SchedChoice::Layered,
         _ => return None,
     })
+}
+
+/// Parse and fully validate a `--layers` spec: grammar, tree-level
+/// invariants (unique names, positive caps/weights, trailing default),
+/// and child-scheduler resolution all fail as usage errors (exit 2).
+fn parse_layers_arg(spec: &str) -> Vec<split_layered::LayerSpec> {
+    let specs = split_layered::parse_layers(spec)
+        .unwrap_or_else(|e| die(&format!("invalid --layers spec: {e}")));
+    for s in &specs {
+        if exp::setup::resolve_layer_child(&s.child).is_none() {
+            die(&format!(
+                "invalid --layers spec: layer '{}' names unknown child scheduler '{}'",
+                s.name, s.child
+            ));
+        }
+    }
+    specs
 }
 
 fn parse_device(name: &str) -> Option<DeviceChoice> {
@@ -171,6 +195,7 @@ struct Cli {
     chaos_seed: Option<u64>,
     chaos_classes: Option<Vec<ChaosClass>>,
     shrink: bool,
+    layers: Option<Vec<split_layered::LayerSpec>>,
     replay: Option<String>,
     reps: Option<usize>,
     check_programs: Option<usize>,
@@ -268,6 +293,10 @@ fn parse_cli(args: &[String]) -> Cli {
                 cli.chaos_classes = Some(classes);
             }
             "--shrink" => cli.shrink = true,
+            "--layers" => {
+                let v = value(&mut it, "--layers", inline);
+                cli.layers = Some(parse_layers_arg(&v));
+            }
             "--replay" => {
                 let v = value(&mut it, "--replay", inline);
                 cli.replay = Some(v);
@@ -464,6 +493,7 @@ fn check_main(cli: &Cli) {
                 queue_depth: cli.queue_depth,
                 inject_late: cli.inject_late,
                 chaos,
+                layers: cli.layers.clone(),
             };
             let plane = match cfg.queue_depth {
                 Some(d) => format!("queued device, depth {d}"),
@@ -587,6 +617,20 @@ fn bench_main(cli: &Cli) {
     let root_seed = cli.root_seed;
     let targets = vec![
         burst_target("fig01", None),
+        // The same burst world under a single catch-all layer wrapping
+        // CFQ: byte-identical simulation, so fig01 vs fig01_layered
+        // events/sec is the layer plane's pure dispatch overhead (the
+        // <10% acceptance bar; the delta is printed after the panel).
+        bench::BenchTarget {
+            name: "fig01_layered",
+            run: Box::new(|| {
+                let r = exp::fig01_qd::bench_run_layered(None);
+                bench::RunOutput {
+                    events: r.events,
+                    fsync_ms: r.fsync_ms,
+                }
+            }),
+        },
         burst_target("fig01_qd_d1", Some(1)),
         burst_target("fig01_qd_d8", Some(8)),
         burst_target("fig01_qd_d32", Some(32)),
@@ -600,6 +644,18 @@ fn bench_main(cli: &Cli) {
                 }
             }),
         },
+        // The full three-tenant layer plane (SSD serial): prices the
+        // arbiter's whole hot path, auditor replay included.
+        bench::BenchTarget {
+            name: "fig_layers",
+            run: Box::new(|| {
+                let r = exp::fig_layers::bench_run();
+                bench::RunOutput {
+                    events: r.events,
+                    fsync_ms: r.fsync_ms,
+                }
+            }),
+        },
         cluster_target("cluster_small", 1),
         cluster_target("cluster_small_j4", 4),
     ];
@@ -609,6 +665,20 @@ fn bench_main(cli: &Cli) {
     );
     let report = bench::run_panel(&targets, reps, bench::git_sha());
     print!("{}", report.render());
+    // The single-layer overhead number the layer plane is held to:
+    // both targets simulate the identical history, so best-of-reps
+    // events/sec is a clean wall-clock comparison.
+    if let (Some(flat), Some(layered)) = (
+        report.targets.iter().find(|t| t.name == "fig01"),
+        report.targets.iter().find(|t| t.name == "fig01_layered"),
+    ) {
+        if layered.best_eps > 0.0 {
+            println!(
+                "single-layer dispatch overhead (fig01 flat vs layered): {:+.1}%",
+                100.0 * (flat.best_eps / layered.best_eps - 1.0)
+            );
+        }
+    }
     let out_dir = cli.out.as_deref().unwrap_or("results/bench");
     write_result(
         out_dir,
@@ -707,6 +777,9 @@ fn main() {
     }
     if !cli.chaos && (cli.chaos_seed.is_some() || cli.chaos_classes.is_some()) {
         die("--chaos-seed/--chaos-classes require --chaos");
+    }
+    if !check_mode && cli.layers.is_some() {
+        die("--layers only applies to the check target");
     }
 
     let bench_mode = cli.targets.iter().any(|t| t == "bench");

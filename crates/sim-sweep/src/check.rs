@@ -20,19 +20,22 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use sim_check::{
-    generate, shrink, AuditPlane, FileRef, GenConfig, OpSpec, ProgramSpec, Sabotaged,
+    generate, shrink, AuditPlane, FileRef, GenConfig, LayerAuditor, OpSpec, ProgramSpec, Sabotaged,
     TimingSabotaged,
 };
 use sim_core::{ChaosConfig, FileId, IoErrorKind, SimDuration, SimRng};
-use sim_experiments::setup::{kernel_config, DeviceChoice, SchedChoice, Setup};
+use sim_experiments::setup::{
+    build_layered, default_layer_tree, kernel_config, DeviceChoice, SchedChoice, Setup,
+};
 use sim_fault::DeviceFaultPlane;
 use sim_kernel::{Outcome, ProcAction, ProcessLogic, World};
 use split_core::{IoSched, SyscallKind};
+use split_layered::{LayerRule, LayerSpec, Layered, LayeredConfig};
 
 use crate::executor::run_indexed;
 
 /// Every scheduler the matrix covers; `ALL_SCHEDS[0]` is the reference.
-pub const ALL_SCHEDS: [SchedChoice; 9] = [
+pub const ALL_SCHEDS: [SchedChoice; 10] = [
     SchedChoice::Noop,
     SchedChoice::Cfq,
     SchedChoice::BlockDeadline,
@@ -42,6 +45,7 @@ pub const ALL_SCHEDS: [SchedChoice; 9] = [
     SchedChoice::SplitPdflush,
     SchedChoice::SplitToken,
     SchedChoice::SplitNoop,
+    SchedChoice::Layered,
 ];
 
 /// Both device models.
@@ -208,6 +212,17 @@ struct RunOpts {
     inject_late: bool,
     /// Install the chaos plane.
     chaos: Option<ChaosConfig>,
+    /// Custom layer tree: replaces the scheduler under test with a
+    /// layered arbiter over these specs (`runner check --layers`, the
+    /// layer mutation tests).
+    layers: Option<Vec<LayerSpec>>,
+    /// Plant the cap-leak bug in the layered arbiter (mutation testing
+    /// of the `LayerAuditor`): every Nth bucket charge is skipped.
+    /// Meaningful only together with `layers`.
+    cap_leak: Option<u64>,
+    /// Wrap the flat scheduler in a degenerate single-layer tree — the
+    /// identity wrapper the equivalence tests prove byte-identical.
+    wrap_single_layer: bool,
 }
 
 /// Replay `spec` under one scheduler/device pair with auditors installed.
@@ -318,6 +333,47 @@ pub fn run_one_timing_sabotaged(
     )
 }
 
+/// [`run_one`] with the flat scheduler wrapped in [`Layered::single`] —
+/// a one-layer tree with no cap and no dirty budget. The wrapper must be
+/// byte-identical to the flat scheduler in every field including
+/// `fingerprint`; `tests/layer_equivalence.rs` holds the stack to that.
+pub fn run_one_single_layer(
+    spec: &ProgramSpec,
+    sched: SchedChoice,
+    device: DeviceChoice,
+) -> RunOutcome {
+    run_inner(
+        spec,
+        sched,
+        device,
+        RunOpts {
+            wrap_single_layer: true,
+            ..Default::default()
+        },
+    )
+}
+
+/// [`run_one`] with the layered arbiter over a custom tree, optionally
+/// with the planted cap-leak bug armed (`cap_leak`): the layer mutation
+/// test's entry point. Kernel flags follow [`SchedChoice::Layered`].
+pub fn run_one_layered(
+    spec: &ProgramSpec,
+    device: DeviceChoice,
+    layers: Vec<LayerSpec>,
+    cap_leak: Option<u64>,
+) -> RunOutcome {
+    run_inner(
+        spec,
+        SchedChoice::Layered,
+        device,
+        RunOpts {
+            layers: Some(layers),
+            cap_leak,
+            ..Default::default()
+        },
+    )
+}
+
 /// `opts.inject_late` plants one deliberately-late event after the drain
 /// (the `runner check --inject-late` probe): the run must then fail
 /// through both the event-queue auditor and the drain gate.
@@ -332,11 +388,41 @@ fn run_inner(
     setup.queue_depth = opts.queue_depth;
     setup.chaos = opts.chaos;
     let mut cfg = kernel_config(setup);
-    cfg.audit = Some(AuditPlane::standard());
+    // The layer plane gets its own auditor battery on top of the
+    // standard one: classification replay needs the tree, so the
+    // harness mirrors whichever tree the run installs (custom specs,
+    // the default tree for `SchedChoice::Layered`, or the degenerate
+    // single-layer wrapper).
+    let audit_tree: Option<Vec<LayerSpec>> = match (&opts.layers, opts.wrap_single_layer) {
+        (Some(specs), _) => Some(specs.clone()),
+        (None, true) => Some(vec![LayerSpec::new(
+            "all",
+            LayerRule::Default,
+            sched.name(),
+        )]),
+        (None, false) if sched == SchedChoice::Layered => Some(default_layer_tree()),
+        (None, false) => None,
+    };
+    let mut plane = AuditPlane::standard();
+    if let Some(tree) = audit_tree {
+        plane.push(Box::new(LayerAuditor::new(tree)));
+    }
+    cfg.audit = Some(plane);
+    let base: Box<dyn IoSched> = match (&opts.layers, opts.wrap_single_layer) {
+        (Some(specs), _) => {
+            let lcfg = LayeredConfig {
+                cap_leak_every: opts.cap_leak,
+                ..Default::default()
+            };
+            Box::new(build_layered(specs.clone(), lcfg).expect("caller-validated layer tree"))
+        }
+        (None, true) => Box::new(Layered::single(sched.build())),
+        (None, false) => sched.build(),
+    };
     let sched_box: Box<dyn IoSched> = match (opts.sabotage, opts.timing_sabotage) {
-        (Some(after), _) => Box::new(Sabotaged::new(sched.build(), after)),
-        (None, Some(dwell)) => Box::new(TimingSabotaged::new(sched.build(), dwell)),
-        (None, None) => sched.build(),
+        (Some(after), _) => Box::new(Sabotaged::new(base, after)),
+        (None, Some(dwell)) => Box::new(TimingSabotaged::new(base, dwell)),
+        (None, None) => base,
     };
     let mut w = World::new();
     let k = w.add_kernel(cfg, device.build(), sched_box);
@@ -449,7 +535,7 @@ pub fn check_program(spec: &ProgramSpec) -> Vec<String> {
 /// oracle is unchanged — schedulers may exploit a deep queue but must
 /// never change syscall results.
 pub fn check_program_qd(spec: &ProgramSpec, queue_depth: Option<u32>) -> Vec<String> {
-    check_program_opts(spec, queue_depth, false, None)
+    check_program_opts(spec, queue_depth, false, None, None)
 }
 
 /// [`check_program_qd`] under the chaos plane (`runner check --chaos`).
@@ -462,7 +548,7 @@ pub fn check_program_chaos(
     queue_depth: Option<u32>,
     chaos: ChaosConfig,
 ) -> Vec<String> {
-    check_program_opts(spec, queue_depth, false, Some(chaos))
+    check_program_opts(spec, queue_depth, false, Some(chaos), None)
 }
 
 /// [`check_program_qd`] with the late-schedule probe: `inject_late`
@@ -473,8 +559,15 @@ fn check_program_opts(
     queue_depth: Option<u32>,
     inject_late: bool,
     chaos: Option<ChaosConfig>,
+    layers: Option<&[LayerSpec]>,
 ) -> Vec<String> {
-    let run = |sched, device| {
+    let run = |sched: SchedChoice, device| {
+        // A custom tree (`--layers`) replaces the default tree on the
+        // layered arm of the matrix; flat arms are unaffected.
+        let layers = match (sched, layers) {
+            (SchedChoice::Layered, Some(tree)) => Some(tree.to_vec()),
+            _ => None,
+        };
         run_inner(
             spec,
             sched,
@@ -483,6 +576,7 @@ fn check_program_opts(
                 queue_depth,
                 inject_late,
                 chaos,
+                layers,
                 ..Default::default()
             },
         )
@@ -563,6 +657,9 @@ pub struct CheckConfig {
     pub inject_late: bool,
     /// Chaos plane for every run in the batch (`runner check --chaos`).
     pub chaos: Option<ChaosConfig>,
+    /// Custom layer tree for the layered arm of the matrix
+    /// (`runner check --layers SPEC`); `None` uses the default tree.
+    pub layers: Option<Vec<LayerSpec>>,
 }
 
 impl Default for CheckConfig {
@@ -575,6 +672,7 @@ impl Default for CheckConfig {
             queue_depth: None,
             inject_late: false,
             chaos: None,
+            layers: None,
         }
     }
 }
@@ -643,13 +741,14 @@ fn fail_from(
     minimize: bool,
     queue_depth: Option<u32>,
     chaos: Option<ChaosConfig>,
+    layers: Option<&[LayerSpec]>,
 ) -> CheckFailure {
     let shrunk = if minimize {
         // The shrinker replays candidates under the same planes that
         // caught the failure — a chaos-only bug must stay reproducible
         // at every shrink step.
         let small = shrink(spec, |p| {
-            !check_program_opts(p, queue_depth, false, chaos).is_empty()
+            !check_program_opts(p, queue_depth, false, chaos, layers).is_empty()
         });
         (small.syscall_count() < spec.syscall_count()).then(|| small.to_string())
     } else {
@@ -671,7 +770,13 @@ pub fn run_check(cfg: &CheckConfig) -> CheckReport {
             &mut SimRng::stream(cfg.root_seed, idx),
             &GenConfig::default(),
         );
-        let problems = check_program_opts(&spec, cfg.queue_depth, cfg.inject_late, cfg.chaos);
+        let problems = check_program_opts(
+            &spec,
+            cfg.queue_depth,
+            cfg.inject_late,
+            cfg.chaos,
+            cfg.layers.as_deref(),
+        );
         (idx, spec, problems)
     });
     // Shrinking replays the whole matrix per candidate, so it stays on
@@ -683,7 +788,15 @@ pub fn run_check(cfg: &CheckConfig) -> CheckReport {
         .into_iter()
         .filter(|(_, _, problems)| !problems.is_empty())
         .map(|(idx, spec, problems)| {
-            fail_from(&spec, idx, problems, minimize, cfg.queue_depth, cfg.chaos)
+            fail_from(
+                &spec,
+                idx,
+                problems,
+                minimize,
+                cfg.queue_depth,
+                cfg.chaos,
+                cfg.layers.as_deref(),
+            )
         })
         .collect();
     CheckReport {
@@ -701,11 +814,19 @@ pub fn run_replay(
     chaos: Option<ChaosConfig>,
 ) -> Result<CheckReport, String> {
     let spec = ProgramSpec::parse(text)?;
-    let problems = check_program_opts(&spec, None, false, chaos);
+    let problems = check_program_opts(&spec, None, false, chaos, None);
     let failures = if problems.is_empty() {
         Vec::new()
     } else {
-        vec![fail_from(&spec, u64::MAX, problems, shrink_it, None, chaos)]
+        vec![fail_from(
+            &spec,
+            u64::MAX,
+            problems,
+            shrink_it,
+            None,
+            chaos,
+            None,
+        )]
     };
     Ok(CheckReport {
         programs: 1,

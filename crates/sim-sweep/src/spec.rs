@@ -68,6 +68,7 @@ fn sched_name(s: SchedChoice) -> String {
         SchedChoice::SplitPdflush => "split-pdflush".into(),
         SchedChoice::SplitToken => "split-token".into(),
         SchedChoice::SplitNoop => "split-noop".into(),
+        SchedChoice::Layered => "layered".into(),
     }
 }
 

@@ -158,10 +158,12 @@ fn bench_writes_parseable_panel_json_and_baseline_round_trips() {
     let targets = doc.get("targets").unwrap();
     for name in [
         "fig01",
+        "fig01_layered",
         "fig01_qd_d1",
         "fig01_qd_d8",
         "fig01_qd_d32",
         "check",
+        "fig_layers",
         "cluster_small",
         "cluster_small_j4",
     ] {
@@ -253,6 +255,71 @@ fn chaos_flag_validation_exits_2() {
         "{}",
         String::from_utf8_lossy(&out.stderr)
     );
+}
+
+#[test]
+fn layers_flag_validation_exits_2() {
+    for args in [
+        // --layers is check-only
+        &["fig01", "--layers", "a:default:share:noop"][..],
+        &["bench", "--layers", "a:default:share:noop"][..],
+        &["sweep", "--layers", "a:default:share:noop"][..],
+        // malformed specs: unknown policy, zero cap, duplicate layer
+        // name, unknown rule, unknown child, missing default, no value
+        &["check", "--layers", "a:default:turbo:noop"][..],
+        &["check", "--layers", "a:default:cap=0:noop"][..],
+        &[
+            "check",
+            "--layers",
+            "a:pidmod=2,1:share:noop;a:default:share:cfq",
+        ][..],
+        &["check", "--layers", "a:vibes=9:share:noop"][..],
+        &["check", "--layers", "a:default:share:warp-drive"][..],
+        &["check", "--layers", "a:pidmod=2,1:share:noop"][..],
+        &["check", "--layers", "a:default:share:layered"][..],
+        &["check", "--layers"][..],
+    ] {
+        let out = runner().args(args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "args: {args:?}");
+        assert!(out.stdout.is_empty(), "nothing must run for {args:?}");
+    }
+    // The error message names what is wrong, not just "bad spec".
+    let cases = [
+        ("a:default:turbo:noop", "turbo"),
+        ("a:default:cap=0:noop", "cap must be > 0"),
+        ("a:pidmod=2,1:share:noop;a:default:share:cfq", "duplicate"),
+        ("a:default:share:warp-drive", "warp-drive"),
+    ];
+    for (spec, needle) in cases {
+        let out = runner().args(["check", "--layers", spec]).output().unwrap();
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(needle),
+            "spec {spec:?}: expected {needle:?} in {stderr}"
+        );
+    }
+}
+
+#[test]
+fn check_accepts_a_valid_layer_tree() {
+    let out = runner()
+        .args([
+            "check",
+            "--programs",
+            "1",
+            "--layers",
+            "lat:pidmod=2,1:latency:block-deadline;rest:default:share+weight=2:split-token",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("clean"), "{stdout}");
 }
 
 #[test]

@@ -146,6 +146,10 @@ pub enum SchedAttr {
     TokenGroup(u32),
     /// Remove any throttle.
     Unthrottled,
+    /// Register a process name for rule-based classification (the layer
+    /// plane's analogue of a cgroup/systemd-slice membership). Must be
+    /// configured before the process's first I/O to affect admission.
+    ProcName(&'static str),
 }
 
 /// Commands a scheduler queues during a hook invocation; the kernel
